@@ -1,0 +1,98 @@
+// E-X1 (extension) — interval-policy ablation on the analytic model.
+//
+// The paper validates σ⁺ against simulated annealing only. With the exact
+// O(γ²) DP optimum available, this ablation ranks every interval policy on
+// 200 Table-II instances: DP optimal ≤ SA ≤ σ⁺ ≤ fixed periods ≤ never.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "opt/dp_optimal.hpp"
+#include "opt/schedule_problem.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ulba;
+  bench::print_header(
+      "Ablation E-X1 — LB interval policies vs. the exact DP optimum",
+      "extends Boulmier et al. §III-B (paper compares sigma+ to simulated "
+      "annealing only)");
+
+  constexpr std::size_t kInstances = 200;
+
+  struct Row {
+    double sa, sigma, p10, p25, p50, never;  // gaps vs DP, in %
+    std::size_t sigma_lb_count, dp_lb_count;
+  };
+  const auto rows = bench::parallel_map(kInstances, [&](std::size_t i) {
+    support::Rng rng = support::Rng(777).fork(i);
+    const core::InstanceGenerator gen;
+    const core::ModelParams p = gen.sample(rng).params;
+    const auto dp = opt::optimal_schedule(p, opt::CostModel::kUlba);
+    support::Rng sa_rng = rng.fork(1);
+    const auto sa =
+        opt::anneal_schedule(p, opt::CostModel::kUlba, sa_rng, 15000);
+    const auto eval = [&](const core::Schedule& s) {
+      return core::evaluate_ulba(p, s).total_seconds;
+    };
+    const auto gap = [&](double t) {
+      return (t / dp.total_seconds - 1.0) * 100.0;
+    };
+    const auto sigma = core::sigma_plus_schedule(p);
+    Row r{};
+    r.sa = gap(sa.total_seconds);
+    r.sigma = gap(eval(sigma));
+    r.p10 = gap(eval(core::periodic_schedule(p.gamma, 10)));
+    r.p25 = gap(eval(core::periodic_schedule(p.gamma, 25)));
+    r.p50 = gap(eval(core::periodic_schedule(p.gamma, 50)));
+    r.never = gap(eval(core::Schedule::empty(p.gamma)));
+    r.sigma_lb_count = sigma.lb_count();
+    r.dp_lb_count = dp.schedule.lb_count();
+    return r;
+  });
+
+  const auto column = [&](auto member) {
+    std::vector<double> xs;
+    xs.reserve(rows.size());
+    for (const auto& r : rows) xs.push_back(r.*member);
+    return xs;
+  };
+
+  support::Table table(
+      {"policy", "mean gap vs optimal", "median", "q95", "max"});
+  const auto add = [&](const char* name, const std::vector<double>& xs) {
+    table.add_row({name,
+                   support::Table::num(support::mean(xs), 2) + "%",
+                   support::Table::num(support::median(xs), 2) + "%",
+                   support::Table::num(support::quantile(xs, 0.95), 2) + "%",
+                   support::Table::num(support::max_of(xs), 2) + "%"});
+  };
+  add("simulated annealing", column(&Row::sa));
+  add("sigma+ (paper)", column(&Row::sigma));
+  add("periodic, 10 it", column(&Row::p10));
+  add("periodic, 25 it", column(&Row::p25));
+  add("periodic, 50 it", column(&Row::p50));
+  add("never (static)", column(&Row::never));
+
+  std::printf("\nGap to the exact DP optimum over %zu Table-II instances "
+              "(ULBA cost model):\n\n%s\n",
+              kInstances, table.render(2).c_str());
+
+  double sigma_vs_dp_calls = 0.0;
+  for (const auto& r : rows)
+    sigma_vs_dp_calls += static_cast<double>(r.sigma_lb_count) -
+                         static_cast<double>(r.dp_lb_count);
+  std::printf("  avg extra LB calls of sigma+ vs optimal: %+.2f\n",
+              sigma_vs_dp_calls / static_cast<double>(rows.size()));
+
+  const double sigma_mean = support::mean(column(&Row::sigma));
+  const double p50_mean = support::mean(column(&Row::p50));
+  const bool ok = sigma_mean >= 0.0 && sigma_mean < 10.0 &&
+                  sigma_mean < p50_mean;
+  std::printf("\n  verdict: %s (sigma+ near-optimal, beats naive periods)\n",
+              ok ? "CONFIRMED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

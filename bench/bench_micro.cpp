@@ -1,0 +1,146 @@
+// Microbenchmarks of the hot primitives (google-benchmark).
+//
+// These are engineering benchmarks, not paper artifacts: they document the
+// cost of the building blocks the experiment harness leans on (closed-form
+// schedule evaluation, σ⁺ computation, stripe partitioning, gossip rounds,
+// annealing steps, DP optimization, erosion steps).
+#include <benchmark/benchmark.h>
+
+#include "core/gossip.hpp"
+#include "core/instance.hpp"
+#include "core/intervals.hpp"
+#include "core/policy.hpp"
+#include "core/schedule.hpp"
+#include "erosion/domain.hpp"
+#include "lb/partitioners.hpp"
+#include "lb/stripe_partitioner.hpp"
+#include "opt/dp_alpha.hpp"
+#include "opt/dp_optimal.hpp"
+#include "opt/schedule_problem.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace ulba;
+
+core::ModelParams bench_params() {
+  support::Rng rng(1);
+  const core::InstanceGenerator gen;
+  return gen.sample(rng).params;
+}
+
+void BM_ScheduleEvaluateUlba(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  const core::Schedule s = core::sigma_plus_schedule(p);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::evaluate_ulba(p, s).total_seconds);
+}
+BENCHMARK(BM_ScheduleEvaluateUlba);
+
+void BM_SigmaPlusSchedule(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sigma_plus_schedule(p).lb_count());
+}
+BENCHMARK(BM_SigmaPlusSchedule);
+
+void BM_MenonTau(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  for (auto _ : state) benchmark::DoNotOptimize(core::menon_tau(p));
+}
+BENCHMARK(BM_MenonTau);
+
+void BM_DpOptimal(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        opt::optimal_schedule(p, opt::CostModel::kUlba).total_seconds);
+}
+BENCHMARK(BM_DpOptimal);
+
+void BM_AnnealSchedule(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  const auto steps = state.range(0);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    support::Rng rng(++seed);
+    benchmark::DoNotOptimize(
+        opt::anneal_schedule(p, opt::CostModel::kUlba, rng, steps)
+            .total_seconds);
+  }
+}
+BENCHMARK(BM_AnnealSchedule)->Arg(1000)->Arg(10000);
+
+void BM_ComputeLbWeights(benchmark::State& state) {
+  const auto pe_count = static_cast<std::size_t>(state.range(0));
+  std::vector<double> alphas(pe_count, 0.0);
+  for (std::size_t i = 0; i < pe_count / 10 + 1; ++i) alphas[i] = 0.4;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::compute_lb_weights(alphas, 1e12).weights);
+}
+BENCHMARK(BM_ComputeLbWeights)->Arg(64)->Arg(2048);
+
+void BM_StripePartition(benchmark::State& state) {
+  const auto columns = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(2);
+  std::vector<double> weights(columns);
+  for (double& w : weights) w = rng.uniform(1.0, 3.0);
+  const std::vector<double> fractions(64, 1.0 / 64.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        lb::partition_by_weight(weights, fractions).back());
+}
+BENCHMARK(BM_StripePartition)->Arg(16384)->Arg(262144);
+
+void BM_GossipRound(benchmark::State& state) {
+  const auto pe_count = state.range(0);
+  core::GossipNetwork net(pe_count, 2);
+  for (std::int64_t pe = 0; pe < pe_count; ++pe)
+    net.observe_local(pe, 1.0, 0);
+  support::Rng rng(3);
+  for (auto _ : state) net.step(rng);
+}
+BENCHMARK(BM_GossipRound)->Arg(64)->Arg(256);
+
+void BM_ErosionStep(benchmark::State& state) {
+  erosion::DomainConfig cfg;
+  cfg.columns = 4096;
+  cfg.rows = 256;
+  for (int i = 0; i < 16; ++i)
+    cfg.discs.push_back(
+        erosion::RockDisc{128 + 256 * i, 128, 64, i == 0 ? 0.4 : 0.02});
+  erosion::ErosionDomain domain(cfg);
+  support::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(domain.step(rng));
+}
+BENCHMARK(BM_ErosionStep);
+
+void BM_OptimalRatioPartition(benchmark::State& state) {
+  const auto columns = static_cast<std::size_t>(state.range(0));
+  support::Rng rng(5);
+  std::vector<double> weights(columns);
+  for (double& w : weights) w = rng.uniform(1.0, 3.0);
+  const std::vector<double> fractions(64, 1.0 / 64.0);
+  const lb::OptimalRatioPartitioner part;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(part.partition(weights, fractions).back());
+}
+BENCHMARK(BM_OptimalRatioPartition)->Arg(16384)->Arg(262144);
+
+void BM_DpAlphaSchedule(benchmark::State& state) {
+  const core::ModelParams p = bench_params();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt::optimal_alpha_schedule(p).total_seconds);
+}
+BENCHMARK(BM_DpAlphaSchedule);
+
+void BM_StripeLoads(benchmark::State& state) {
+  const auto columns = static_cast<std::size_t>(state.range(0));
+  std::vector<double> weights(columns, 1.0);
+  const auto b = lb::even_partition(static_cast<std::int64_t>(columns), 64);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lb::stripe_loads(weights, b).front());
+}
+BENCHMARK(BM_StripeLoads)->Arg(16384)->Arg(262144);
+
+}  // namespace

@@ -1,0 +1,88 @@
+// E-T2 — Table II: random application-parameter distributions.
+//
+// Samples 10 000 instances from the Table-II generator and verifies every
+// parameter obeys its distribution: support bounds, the ΔW = aP + mN
+// identity, and the summary statistics of each raw draw. This is the
+// reproduction of the paper's Table II (a specification table — the "result"
+// is that the sampler matches it).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/instance.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace ulba;
+  bench::print_header(
+      "Table II — random application parameter distributions",
+      "Boulmier et al., CLUSTER'19, Table II (used by Figs. 2 and 3)");
+
+  constexpr int kSamples = 10000;
+  support::Rng rng(20190916);  // the paper's arXiv date as seed
+  const core::InstanceGenerator gen;
+
+  std::vector<double> v, x, y, z, alpha, n_over_p, c_over_iter;
+  std::vector<double> w0_per_pe;
+  std::size_t identity_violations = 0;
+  std::size_t bound_violations = 0;
+
+  for (int i = 0; i < kSamples; ++i) {
+    const core::Instance inst = gen.sample(rng);
+    const core::ModelParams& p = inst.params;
+    const auto pd = static_cast<double>(p.P);
+
+    v.push_back(inst.v);
+    x.push_back(inst.x);
+    y.push_back(inst.y);
+    z.push_back(inst.z);
+    alpha.push_back(p.alpha);
+    n_over_p.push_back(static_cast<double>(p.N) / pd);
+    w0_per_pe.push_back(p.w0 / pd);
+    // C relative to one iteration's compute time (z by construction).
+    c_over_iter.push_back(p.lb_cost / ((p.w0 / pd) / p.omega));
+
+    const double dw_expected = (p.w0 / pd) * inst.x;
+    if (std::abs(p.delta_w() - dw_expected) > 1e-6 * dw_expected)
+      ++identity_violations;
+    if (p.w0 < 52e7 * pd || p.w0 >= 1165e7 * pd || p.N < 1 || p.N >= p.P)
+      ++bound_violations;
+  }
+
+  support::Table table({"draw", "distribution (Table II)", "min", "mean",
+                        "max", "in-range"});
+  const auto row = [&](const char* name, const char* dist,
+                       const std::vector<double>& xs, double lo, double hi) {
+    const auto s = support::summarize(xs);
+    const bool ok = s.min >= lo && s.max <= hi;
+    table.add_row({name, dist, support::Table::num(s.min, 4),
+                   support::Table::num(s.mean, 4),
+                   support::Table::num(s.max, 4), ok ? "yes" : "NO"});
+  };
+  row("v  (N = P*v)", "U(0.01, 0.2)", v, 0.01, 0.2);
+  row("x  (dW frac)", "U(0.01, 0.3)", x, 0.01, 0.3);
+  row("y  (m share)", "U(0.8, 1.0)", y, 0.8, 1.0);
+  row("alpha", "U(0.0, 1.0)", alpha, 0.0, 1.0);
+  row("z  (C frac)", "U(0.1, 3.0)", z, 0.1, 3.0);
+  row("N/P", "~U(0.01,0.2)", n_over_p, 0.0, 0.21);
+  row("C / iter-time", "= z", c_over_iter, 0.1, 3.0);
+  row("W0/P  [GFLOP]", "U(0.52, 11.65)e9",
+      [&] {
+        std::vector<double> g;
+        g.reserve(w0_per_pe.size());
+        for (double w : w0_per_pe) g.push_back(w / 1e9);
+        return g;
+      }(),
+      0.52, 11.65);
+  std::printf("%s\n", table.render(2).c_str());
+
+  std::printf("  samples                       : %d\n", kSamples);
+  std::printf("  dW = a*P + m*N violations     : %zu\n", identity_violations);
+  std::printf("  support-bound violations      : %zu\n", bound_violations);
+  std::printf("  verdict                       : %s\n",
+              (identity_violations == 0 && bound_violations == 0)
+                  ? "TABLE II REPRODUCED"
+                  : "MISMATCH");
+  return (identity_violations == 0 && bound_violations == 0) ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+// The erosion application on real OS threads — every quantity measured, not
+// modeled: iteration times from steady_clock, LB cost from the actual gather
+// + partition + broadcast + migration-burn sequence, WIRs from observed
+// workload deltas, gossip over real messages.
+//
+//   ./erosion_mt [pe_count] [strong_rocks] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "erosion/threaded_app.hpp"
+#include "support/text_plot.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ulba::erosion;
+  ThreadedConfig cfg;
+  cfg.pe_count = argc > 1 ? std::atoll(argv[1]) : 8;
+  cfg.strong_rock_count = argc > 2 ? std::atoll(argv[2]) : 1;
+  cfg.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 11;
+  cfg.columns_per_pe = 96;
+  cfg.rows = 96;
+  cfg.rock_radius = 24;
+  cfg.iterations = 80;
+  cfg.alpha = 0.4;
+
+  std::printf("Threaded erosion: %lld ranks (OS threads), %lld strong "
+              "rock(s), %lld iterations\n\n",
+              static_cast<long long>(cfg.pe_count),
+              static_cast<long long>(cfg.strong_rock_count),
+              static_cast<long long>(cfg.iterations));
+
+  cfg.method = Method::kStandard;
+  const ThreadedRunResult std_run = run_threaded(cfg);
+  cfg.method = Method::kUlba;
+  const ThreadedRunResult ulba_run = run_threaded(cfg);
+
+  const auto report = [](const char* name, const ThreadedRunResult& r) {
+    std::printf("%s\n", name);
+    std::printf("  wall clock       : %.3f s (measured)\n", r.wall_seconds);
+    std::printf("  LB calls         : %lld  at ",
+                static_cast<long long>(r.lb_count));
+    for (auto it : r.lb_iterations)
+      std::printf("%lld ", static_cast<long long>(it));
+    std::printf("\n  mean utilization : %.1f%%\n",
+                r.mean_utilization * 100.0);
+    std::printf("  iteration times  : %s\n\n",
+                ulba::support::sparkline(r.iteration_seconds).c_str());
+  };
+  report("standard LB method:", std_run);
+  report("ULBA (alpha = 0.4):", ulba_run);
+
+  std::printf("==> ULBA gain: %+.1f%% measured wall clock (same erosion "
+              "dynamics: %lld == %lld cells eroded)\n",
+              (std_run.wall_seconds - ulba_run.wall_seconds) /
+                  std_run.wall_seconds * 100.0,
+              static_cast<long long>(std_run.eroded_cells),
+              static_cast<long long>(ulba_run.eroded_cells));
+  std::printf("(wall-clock noise is real; re-run for another sample)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Interval explorer: how α shapes σ⁻, σ⁺, the LB schedule, and the total
+// time — with the exact DP optimum as the reference line.
+//
+//   ./interval_explorer
+#include <cstdio>
+#include <string>
+
+#include "core/intervals.hpp"
+#include "core/schedule.hpp"
+#include "opt/dp_optimal.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+/// One-line timeline of a schedule: '|' = LB step, '.' = plain iteration.
+std::string timeline(const ulba::core::Schedule& s) {
+  std::string line(static_cast<std::size_t>(s.gamma()), '.');
+  for (auto step : s.steps()) line[static_cast<std::size_t>(step)] = '|';
+  return line;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ulba;
+
+  core::ModelParams p;
+  p.P = 1024;
+  p.N = 48;
+  p.gamma = 100;
+  p.omega = 1e9;
+  p.w0 = 4e9 * static_cast<double>(p.P);
+  p.a = 1e5;
+  p.m = 2e7;
+  p.lb_cost = 2.0;
+  p.alpha = 0.0;
+  p.validate();
+
+  std::printf("Model: P=%lld, N=%lld, gamma=%lld, C=%.1fs, tau_Menon=%.1f\n\n",
+              static_cast<long long>(p.P), static_cast<long long>(p.N),
+              static_cast<long long>(p.gamma), p.lb_cost, core::menon_tau(p));
+
+  support::Table table({"alpha", "sigma-", "sigma+", "LB calls",
+                        "T total [s]", "vs standard"});
+  const double t_std =
+      core::evaluate_standard(p, core::menon_schedule(p)).total_seconds;
+
+  double best_alpha = 0.0, best_time = t_std;
+  for (int a10 = 0; a10 <= 10; ++a10) {
+    core::ModelParams q = p;
+    q.alpha = a10 / 10.0;
+    const auto bounds = core::interval_bounds(q, 0, q.alpha, q.alpha);
+    const auto schedule = core::sigma_plus_schedule(q);
+    const double t = core::evaluate_ulba(q, schedule).total_seconds;
+    if (t < best_time) {
+      best_time = t;
+      best_alpha = q.alpha;
+    }
+    table.add_row({support::Table::num(q.alpha, 1),
+                   std::to_string(bounds.lower),
+                   support::Table::num(bounds.upper, 1),
+                   std::to_string(schedule.lb_count()),
+                   support::Table::num(t, 2),
+                   support::Table::pct((t_std - t) / t_std, 2)});
+  }
+  std::printf("%s\n", table.render(2).c_str());
+
+  core::ModelParams q = p;
+  q.alpha = best_alpha;
+  const auto sigma_sched = core::sigma_plus_schedule(q);
+  const auto dp = opt::optimal_schedule(q, opt::CostModel::kUlba);
+  std::printf("best alpha = %.1f\n", best_alpha);
+  std::printf("  sigma+ schedule  %s   (%.2f s)\n",
+              timeline(sigma_sched).c_str(),
+              core::evaluate_ulba(q, sigma_sched).total_seconds);
+  std::printf("  DP optimum       %s   (%.2f s)\n", timeline(dp.schedule).c_str(),
+              dp.total_seconds);
+  std::printf("  standard (tau)   %s   (%.2f s)\n",
+              timeline(core::menon_schedule(p)).c_str(), t_std);
+  std::printf("\n('|' marks an LB step along the %lld iterations)\n",
+              static_cast<long long>(p.gamma));
+  return 0;
+}

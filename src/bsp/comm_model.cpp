@@ -1,0 +1,50 @@
+#include "bsp/comm_model.hpp"
+
+#include "support/require.hpp"
+
+namespace ulba::bsp {
+
+std::int64_t ceil_log2(std::int64_t p) {
+  ULBA_REQUIRE(p >= 1, "log2 of non-positive count");
+  std::int64_t bits = 0;
+  std::int64_t v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+void CommModel::validate() const {
+  ULBA_REQUIRE(latency_s >= 0.0, "latency must be non-negative");
+  ULBA_REQUIRE(bandwidth_Bps > 0.0, "bandwidth must be positive");
+}
+
+double CommModel::p2p(std::int64_t bytes) const {
+  ULBA_REQUIRE(bytes >= 0, "negative message size");
+  return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+}
+
+double CommModel::broadcast(std::int64_t bytes, std::int64_t p) const {
+  return static_cast<double>(ceil_log2(p)) * p2p(bytes);
+}
+
+double CommModel::gather(std::int64_t bytes_each, std::int64_t p) const {
+  ULBA_REQUIRE(p >= 1, "gather needs at least one rank");
+  ULBA_REQUIRE(bytes_each >= 0, "negative message size");
+  // Binomial-tree gather: ⌈log₂P⌉ latency terms; the root still receives the
+  // full (P−1)·b payload volume (Σ_k 2^(k−1)·b).
+  return static_cast<double>(ceil_log2(p)) * latency_s +
+         static_cast<double>(p - 1) * static_cast<double>(bytes_each) /
+             bandwidth_Bps;
+}
+
+double CommModel::allreduce(std::int64_t bytes, std::int64_t p) const {
+  return static_cast<double>(ceil_log2(p)) * p2p(bytes);
+}
+
+double CommModel::migrate(std::int64_t max_bytes_on_a_pe) const {
+  return max_bytes_on_a_pe > 0 ? p2p(max_bytes_on_a_pe) : 0.0;
+}
+
+}  // namespace ulba::bsp

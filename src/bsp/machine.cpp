@@ -1,0 +1,63 @@
+#include "bsp/machine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/require.hpp"
+
+namespace ulba::bsp {
+
+Machine::Machine(std::int64_t pe_count, double flops_per_pe, CommModel comm)
+    : pe_count_(pe_count), flops_(flops_per_pe), comm_(comm) {
+  ULBA_REQUIRE(pe_count >= 1, "machine needs at least one PE");
+  ULBA_REQUIRE(flops_per_pe > 0.0, "PE speed must be positive");
+  comm_.validate();
+}
+
+StepReport Machine::run_superstep(std::span<const double> workloads,
+                                  double sync_comm_seconds) {
+  ULBA_REQUIRE(workloads.size() == static_cast<std::size_t>(pe_count_),
+               "need one workload per PE");
+  ULBA_REQUIRE(sync_comm_seconds >= 0.0, "comm time must be non-negative");
+
+  double max_w = 0.0;
+  double sum_w = 0.0;
+  std::int64_t slowest = 0;
+  for (std::size_t p = 0; p < workloads.size(); ++p) {
+    ULBA_REQUIRE(workloads[p] >= 0.0, "workloads must be non-negative");
+    sum_w += workloads[p];
+    if (workloads[p] > max_w) {
+      max_w = workloads[p];
+      slowest = static_cast<std::int64_t>(p);
+    }
+  }
+
+  StepReport report;
+  report.seconds = max_w / flops_ + sync_comm_seconds;
+  report.utilization =
+      max_w > 0.0 ? (sum_w / static_cast<double>(pe_count_)) / max_w : 1.0;
+  report.slowest_pe = slowest;
+
+  elapsed_ += report.seconds;
+  busy_ += sum_w / flops_;
+  ++steps_;
+  return report;
+}
+
+void Machine::charge_global(double seconds) {
+  ULBA_REQUIRE(seconds >= 0.0, "charged time must be non-negative");
+  elapsed_ += seconds;
+}
+
+double Machine::average_utilization() const noexcept {
+  if (elapsed_ <= 0.0) return 1.0;
+  return busy_ / (static_cast<double>(pe_count_) * elapsed_);
+}
+
+void Machine::reset() {
+  elapsed_ = 0.0;
+  busy_ = 0.0;
+  steps_ = 0;
+}
+
+}  // namespace ulba::bsp

@@ -1,0 +1,69 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+InstanceGenerator::InstanceGenerator(InstanceOptions options)
+    : options_(options) {
+  ULBA_REQUIRE(options_.gamma >= 1, "gamma must be at least 1");
+  ULBA_REQUIRE(options_.omega > 0.0, "omega must be positive");
+  if (options_.pin_p) {
+    ULBA_REQUIRE(*options_.pin_p >= 2, "pinned P must be at least 2");
+  }
+  if (options_.pin_overloading_fraction) {
+    const double f = *options_.pin_overloading_fraction;
+    ULBA_REQUIRE(f > 0.0 && f < 1.0,
+                 "pinned overloading fraction must lie in (0, 1)");
+  }
+  if (options_.pin_alpha) {
+    const double a = *options_.pin_alpha;
+    ULBA_REQUIRE(a >= 0.0 && a <= 1.0, "pinned alpha must lie in [0, 1]");
+  }
+}
+
+Instance InstanceGenerator::sample(support::Rng& rng) const {
+  Instance inst;
+  ModelParams& p = inst.params;
+
+  p.P = options_.pin_p
+            ? *options_.pin_p
+            : rng.pick(std::span<const std::int64_t>(kTableIIPeCounts));
+
+  inst.v = options_.pin_overloading_fraction
+               ? *options_.pin_overloading_fraction
+               : rng.uniform(0.01, 0.2);
+  p.N = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::llround(static_cast<double>(p.P) * inst.v)),
+      1, p.P - 1);
+
+  p.gamma = options_.gamma;
+  p.omega = options_.omega;
+
+  const auto pd = static_cast<double>(p.P);
+  p.w0 = rng.uniform(52e7 * pd, 1165e7 * pd);
+
+  inst.x = rng.uniform(0.01, 0.3);
+  const double delta_w = (p.w0 / pd) * inst.x;
+
+  inst.y = rng.uniform(0.8, 1.0);
+  p.a = delta_w * (1.0 - inst.y) / pd;
+  p.m = delta_w * inst.y / static_cast<double>(p.N);
+
+  p.alpha = options_.pin_alpha ? *options_.pin_alpha : rng.uniform(0.0, 1.0);
+
+  inst.z = rng.uniform(0.1, 3.0);
+  // Table II expresses C in FLOP (a fraction z of one iteration's per-PE
+  // work); the model carries C in seconds.
+  p.lb_cost = (p.w0 / pd) * inst.z / p.omega;
+
+  p.validate();
+  return inst;
+}
+
+}  // namespace ulba::core

@@ -1,0 +1,72 @@
+#include "core/intervals.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/ulba_model.hpp"
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+double menon_tau(const ModelParams& p) {
+  const double mh = p.m_hat();
+  if (mh <= 0.0) return std::numeric_limits<double>::infinity();
+  // Cost_imbalance(τ) = (1/ω)∫₀^τ m̂·t dt = m̂τ²/(2ω)  ==  C
+  return std::sqrt(2.0 * p.lb_cost * p.omega / mh);
+}
+
+double menon_tau_discrete(const ModelParams& p) {
+  const double mh = p.m_hat();
+  if (mh <= 0.0) return std::numeric_limits<double>::infinity();
+  // Σ_{t=0}^{τ−1} m̂·t/ω = m̂·τ(τ−1)/(2ω) == C  ⇒  τ² − τ − 2Cω/m̂ = 0.
+  return 0.5 * (1.0 + std::sqrt(1.0 + 8.0 * p.lb_cost * p.omega / mh));
+}
+
+double sigma_plus_tau(const ModelParams& p, std::int64_t lb_prev,
+                      std::int64_t sigma_minus_prev, double alpha_next) {
+  ULBA_REQUIRE(alpha_next >= 0.0 && alpha_next <= 1.0,
+               "alpha must lie in [0, 1]");
+  ULBA_REQUIRE(sigma_minus_prev >= 0, "sigma_minus must be non-negative");
+  const double mh = p.m_hat();
+  if (mh <= 0.0) return std::numeric_limits<double>::infinity();
+  if (alpha_next == 0.0) return menon_tau(p);
+
+  ULBA_REQUIRE(p.N > 0 && p.N < p.P,
+               "underloading requires 0 < N < P so someone absorbs the work");
+  // Eq. (12):  (m̂/2ω)·τ² − (αNΔW/((P−N)ωP))·τ
+  //            − [ (αN/(P−N))·(Wtot(LBp) + σ⁻·ΔW)/(ωP) + C ] = 0
+  const double ratio =
+      static_cast<double>(p.N) / static_cast<double>(p.P - p.N);
+  const double dw = p.delta_w();
+  const double A = mh / (2.0 * p.omega);
+  const double B =
+      -alpha_next * ratio * dw / (p.omega * static_cast<double>(p.P));
+  const double w_at_sigma =
+      p.wtot(lb_prev) + static_cast<double>(sigma_minus_prev) * dw;
+  const double Dterm =
+      -(alpha_next * ratio * w_at_sigma / (p.omega * static_cast<double>(p.P)) +
+        p.lb_cost);
+  // A > 0 and Dterm ≤ 0 ⇒ the discriminant is non-negative and the larger
+  // root is the (unique) non-negative one.
+  const double disc = B * B - 4.0 * A * Dterm;
+  ULBA_CHECK(disc >= 0.0, "Eq. (12) discriminant must be non-negative");
+  return (-B + std::sqrt(disc)) / (2.0 * A);
+}
+
+double sigma_plus(const ModelParams& p, std::int64_t lb_prev,
+                  double alpha_open, double alpha_next) {
+  const std::int64_t sm = sigma_minus(p, lb_prev, alpha_open);
+  const double tau = sigma_plus_tau(p, lb_prev, sm, alpha_next);
+  if (std::isinf(tau)) return tau;
+  return static_cast<double>(sm) + tau;
+}
+
+IntervalBounds interval_bounds(const ModelParams& p, std::int64_t lb_prev,
+                               double alpha_open, double alpha_next) {
+  IntervalBounds b;
+  b.lower = sigma_minus(p, lb_prev, alpha_open);
+  b.upper = sigma_plus(p, lb_prev, alpha_open, alpha_next);
+  return b;
+}
+
+}  // namespace ulba::core

@@ -1,0 +1,57 @@
+// Optimal LB-interval approximations — paper §III-B.
+//
+// The standard method's interval is Menon et al.'s τ = √(2Cω/m̂): balance
+// when the accumulated imbalance cost equals the LB cost. ULBA delays the
+// clock's start to σ⁻ (no degradation until the overloading PEs catch up) and
+// additionally charges the overhead its *next* underloading step will impose
+// on the non-overloading PEs (Eq. (11)), yielding the quadratic Eq. (12)
+// whose positive root τ gives σ⁺ = σ⁻ + τ. With α = 0 the machinery
+// collapses to σ⁻ = 0, σ⁺ = τ_Menon — exactly as the paper notes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace ulba::core {
+
+/// Menon et al.'s optimal LB interval for the standard method:
+/// τ = √(2·C·ω / m̂) iterations. Returns +infinity when m̂ == 0 (a balanced
+/// application never needs rebalancing).
+[[nodiscard]] double menon_tau(const ModelParams& p);
+
+/// The exact discrete counterpart: the smallest τ with
+/// Σ_{t=0}^{τ−1} m̂·t/ω ≥ C, i.e. τ = (1 + √(1 + 8Cω/m̂))/2. The paper notes
+/// that "changing the integral into a discrete sum only leads to a
+/// non-significant change" — this function quantifies it (the difference is
+/// ≈ ½ iteration; see the unit tests).
+[[nodiscard]] double menon_tau_discrete(const ModelParams& p);
+
+/// The positive root τ of Eq. (12): iterations past σ⁻ until the accumulated
+/// imbalance cost equals the LB cost C plus the ULBA overhead of the *next*
+/// step with fraction `alpha_next`. `lb_prev` is the interval's opening step;
+/// `sigma_minus_prev` the σ⁻ of that opening (0 for a standard opening).
+/// Returns +infinity when m̂ == 0.
+[[nodiscard]] double sigma_plus_tau(const ModelParams& p, std::int64_t lb_prev,
+                                    std::int64_t sigma_minus_prev,
+                                    double alpha_next);
+
+/// σ⁺ — the recommended LB point, in iterations after `lb_prev`:
+/// σ⁺ = σ⁻(lb_prev, alpha_open) + τ(Eq. 12 with alpha_next).
+/// `alpha_open` is the fraction applied AT lb_prev (0 for the initial
+/// implicit balance), `alpha_next` the fraction the upcoming step will apply.
+[[nodiscard]] double sigma_plus(const ModelParams& p, std::int64_t lb_prev,
+                                double alpha_open, double alpha_next);
+
+/// Range [σ⁻, σ⁺] within which §III-B argues the next LB call should occur.
+struct IntervalBounds {
+  std::int64_t lower = 0;  ///< σ⁻ (integral, Eq. (8) floors)
+  double upper = 0.0;      ///< σ⁺ (real-valued)
+};
+
+[[nodiscard]] IntervalBounds interval_bounds(const ModelParams& p,
+                                             std::int64_t lb_prev,
+                                             double alpha_open,
+                                             double alpha_next);
+
+}  // namespace ulba::core

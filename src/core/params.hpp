@@ -1,0 +1,60 @@
+// Application model parameters — Table I of the paper.
+//
+// The analytic application model (paper §II-C and §III-A) describes a
+// bulk-synchronous iterative application of γ iterations running on P
+// processing elements (PEs) of speed ω FLOPS. The workload starts at Wtot(0)
+// FLOP and grows by ΔW = a·P + m·N FLOP per iteration: every PE gains `a`,
+// and the N *overloading* PEs gain an extra `m`. The load balancer costs C
+// seconds per call; ULBA's knob α ∈ [0, 1] is the fraction of the perfectly
+// balanced share removed from each overloading PE at an LB step.
+#pragma once
+
+#include <cstdint>
+
+namespace ulba::core {
+
+/// Parameters of the analytic application model (Table I).
+/// All workloads are FLOP; rates are FLOP per iteration; C is seconds.
+struct ModelParams {
+  std::int64_t P = 0;     ///< number of processing elements
+  std::int64_t N = 0;     ///< number of overloading PEs (0 ≤ N < P)
+  std::int64_t gamma = 0; ///< number of application iterations
+  double w0 = 0.0;        ///< initial total workload Wtot(0) [FLOP]
+  double a = 0.0;         ///< per-iteration workload gained by every PE [FLOP/it]
+  double m = 0.0;         ///< extra per-iteration workload of overloading PEs [FLOP/it]
+  double alpha = 0.0;     ///< ULBA underloading fraction ∈ [0, 1]
+  double omega = 1e9;     ///< PE speed [FLOPS]; paper simulations use 1 GFLOPS
+  double lb_cost = 0.0;   ///< LB call cost C [seconds]
+
+  /// ΔW = a·P + m·N — total workload growth per iteration (Eq. below (1)).
+  [[nodiscard]] double delta_w() const noexcept {
+    return a * static_cast<double>(P) + m * static_cast<double>(N);
+  }
+
+  /// Menon's average workload-increase rate  â = a + mN/P.
+  [[nodiscard]] double a_hat() const noexcept {
+    return a + m * static_cast<double>(N) / static_cast<double>(P);
+  }
+
+  /// Menon's extra rate of the most loaded PEs  m̂ = m(P−N)/P.
+  [[nodiscard]] double m_hat() const noexcept {
+    return m * static_cast<double>(P - N) / static_cast<double>(P);
+  }
+
+  /// Wtot(i) = Wtot(0) + i·ΔW — Eq. (1).
+  [[nodiscard]] double wtot(std::int64_t iteration) const noexcept {
+    return w0 + static_cast<double>(iteration) * delta_w();
+  }
+
+  /// Perfectly balanced per-PE share at iteration i: Wtot(i)/P.
+  [[nodiscard]] double balanced_share(std::int64_t iteration) const noexcept {
+    return wtot(iteration) / static_cast<double>(P);
+  }
+
+  /// Throws std::invalid_argument when any parameter is out of domain
+  /// (P ≥ 1, 0 ≤ N < P, γ ≥ 1, workloads/rates/cost non-negative,
+  /// α ∈ [0,1], ω > 0).
+  void validate() const;
+};
+
+}  // namespace ulba::core

@@ -1,0 +1,50 @@
+#include "core/policy.hpp"
+
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+WeightAssignment compute_lb_weights(std::span<const double> alphas,
+                                    double wtot) {
+  const auto p_count = static_cast<std::int64_t>(alphas.size());
+  ULBA_REQUIRE(p_count >= 1, "need at least one PE");
+  ULBA_REQUIRE(wtot >= 0.0, "total workload must be non-negative");
+
+  WeightAssignment out;
+  double alpha_sum = 0.0;
+  for (double a : alphas) {
+    ULBA_REQUIRE(a >= 0.0 && a <= 1.0, "each alpha must lie in [0, 1]");
+    if (a > 0.0) {
+      ++out.overloading_count;
+      alpha_sum += a;
+    }
+  }
+
+  const double even = wtot / static_cast<double>(p_count);
+  out.weights.resize(alphas.size(), even);
+
+  // The ≥50 % safeguard — also covers N == P, where nobody could absorb the
+  // unloaded work.
+  if (2 * out.overloading_count >= p_count) {
+    out.fell_back_to_standard = out.overloading_count > 0;
+  } else if (out.overloading_count > 0) {
+    const double boost =
+        alpha_sum / static_cast<double>(p_count - out.overloading_count);
+    for (std::size_t p = 0; p < alphas.size(); ++p) {
+      out.weights[p] =
+          alphas[p] > 0.0 ? (1.0 - alphas[p]) * even : (1.0 + boost) * even;
+    }
+  }
+
+  out.fractions.resize(out.weights.size());
+  if (wtot > 0.0) {
+    for (std::size_t p = 0; p < out.weights.size(); ++p)
+      out.fractions[p] = out.weights[p] / wtot;
+  } else {  // no workload yet: an even split is the only sensible answer
+    const double f = 1.0 / static_cast<double>(p_count);
+    for (double& x : out.fractions) x = f;
+  }
+  return out;
+}
+
+}  // namespace ulba::core

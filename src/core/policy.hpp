@@ -1,0 +1,43 @@
+// Algorithm 2 — per-PE target weights of a (centralized) ULBA step.
+//
+// Each PE submits its α: the user-defined fraction if it detected itself
+// overloading, 0 otherwise. The main PE then assigns:
+//
+//     overloading p:        w_p = (1 − α_p) · Wtot/P
+//     non-overloading p:    w_p = (1 + S/(P−N)) · Wtot/P,   S = Σ_overloading α_q
+//
+// and the partitioner cuts the domain to those targets. With a common α this
+// is exactly Eq. (6). Note: Algorithm 2 in the paper writes the
+// non-overloading weight with that PE's own A_p (which is 0), which would not
+// conserve Wtot; Figure 1 and Eq. (6) make the intent clear, so we use the
+// overloading PEs' total S — the weights then sum to Wtot exactly.
+//
+// Safeguard (§III-C): "If at least 50% of the PEs call the load balancer with
+// α > 0, then the load balancer works as the standard LB method because it is
+// counter-productive to unload a majority of PEs."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ulba::core {
+
+struct WeightAssignment {
+  /// Target workload per PE, summing to the given Wtot.
+  std::vector<double> weights;
+  /// Same targets normalized to fractions summing to 1.
+  std::vector<double> fractions;
+  /// Number of PEs that requested underloading (α_p > 0).
+  std::int64_t overloading_count = 0;
+  /// True when the ≥50 % safeguard forced a plain even split.
+  bool fell_back_to_standard = false;
+};
+
+/// Compute the Algorithm-2 weights for one LB step. `alphas[p]` is PE p's
+/// submitted fraction (0 ⇒ not overloading); every α must lie in [0, 1].
+/// `wtot` is the total workload at the LB iteration.
+[[nodiscard]] WeightAssignment compute_lb_weights(std::span<const double> alphas,
+                                                  double wtot);
+
+}  // namespace ulba::core

@@ -1,0 +1,148 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/intervals.hpp"
+#include "core/standard_model.hpp"
+#include "core/ulba_model.hpp"
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+Schedule::Schedule(std::int64_t gamma, std::vector<std::int64_t> steps)
+    : gamma_(gamma), steps_(std::move(steps)) {
+  ULBA_REQUIRE(gamma_ >= 1, "schedule horizon must be at least 1 iteration");
+  std::int64_t prev = 0;
+  for (std::int64_t s : steps_) {
+    ULBA_REQUIRE(s >= 1 && s < gamma_,
+                 "LB steps must lie in [1, gamma-1]; iteration 0 is the "
+                 "implicit initial balance");
+    ULBA_REQUIRE(s > prev, "LB steps must be strictly increasing");
+    prev = s;
+  }
+}
+
+Schedule Schedule::empty(std::int64_t gamma) { return Schedule(gamma, {}); }
+
+Schedule Schedule::from_mask(std::span<const std::uint8_t> mask) {
+  ULBA_REQUIRE(!mask.empty(), "mask must cover at least one iteration");
+  std::vector<std::int64_t> steps;
+  for (std::size_t i = 1; i < mask.size(); ++i)
+    if (mask[i] != 0) steps.push_back(static_cast<std::int64_t>(i));
+  return Schedule(static_cast<std::int64_t>(mask.size()), std::move(steps));
+}
+
+std::vector<std::uint8_t> Schedule::to_mask() const {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(gamma_), 0);
+  for (std::int64_t s : steps_) mask[static_cast<std::size_t>(s)] = 1;
+  return mask;
+}
+
+std::vector<std::int64_t> Schedule::boundaries() const {
+  std::vector<std::int64_t> b;
+  b.reserve(steps_.size() + 2);
+  b.push_back(0);
+  b.insert(b.end(), steps_.begin(), steps_.end());
+  b.push_back(gamma_);
+  return b;
+}
+
+std::string Schedule::to_string() const {
+  std::ostringstream os;
+  os << "LB @ {";
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    os << steps_[i];
+    if (i + 1 < steps_.size()) os << ", ";
+  }
+  os << "} over " << gamma_ << " iterations";
+  return os.str();
+}
+
+namespace {
+
+template <typename IntervalFn>
+ScheduleCost evaluate_with(const ModelParams& p, const Schedule& s,
+                           IntervalFn&& interval_compute) {
+  p.validate();
+  ULBA_REQUIRE(s.gamma() == p.gamma,
+               "schedule horizon must match the model's gamma");
+  const auto bounds = s.boundaries();
+  ScheduleCost cost;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const std::int64_t from = bounds[k];
+    const std::int64_t to = bounds[k + 1];
+    if (to == from) continue;  // an LB step at the very end opens nothing
+    cost.compute_seconds += interval_compute(k, from, to);
+  }
+  cost.lb_count = s.lb_count();
+  cost.lb_seconds = static_cast<double>(cost.lb_count) * p.lb_cost;
+  cost.total_seconds = cost.compute_seconds + cost.lb_seconds;
+  return cost;
+}
+
+}  // namespace
+
+ScheduleCost evaluate_standard(const ModelParams& p, const Schedule& s) {
+  return evaluate_with(p, s, [&](std::size_t, std::int64_t from,
+                                 std::int64_t to) {
+    return standard_interval_compute_time(p, from, to);
+  });
+}
+
+ScheduleCost evaluate_ulba(const ModelParams& p, const Schedule& s) {
+  return evaluate_with(
+      p, s, [&](std::size_t k, std::int64_t from, std::int64_t to) {
+        // Interval 0 is opened by the implicit initial balance: standard
+        // shape. Every later interval is opened by a ULBA step with α.
+        const double alpha_open = (k == 0) ? 0.0 : p.alpha;
+        return ulba_interval_compute_time(p, from, to, alpha_open);
+      });
+}
+
+ScheduleCost evaluate_ulba_per_step(const ModelParams& p, const Schedule& s,
+                                    std::span<const double> alphas) {
+  ULBA_REQUIRE(alphas.size() == s.lb_count(),
+               "need exactly one alpha per scheduled LB step");
+  return evaluate_with(
+      p, s, [&](std::size_t k, std::int64_t from, std::int64_t to) {
+        const double alpha_open = (k == 0) ? 0.0 : alphas[k - 1];
+        return ulba_interval_compute_time(p, from, to, alpha_open);
+      });
+}
+
+Schedule periodic_schedule(std::int64_t gamma, std::int64_t period) {
+  ULBA_REQUIRE(period >= 1, "period must be at least one iteration");
+  std::vector<std::int64_t> steps;
+  for (std::int64_t i = period; i < gamma; i += period) steps.push_back(i);
+  return Schedule(gamma, std::move(steps));
+}
+
+Schedule menon_schedule(const ModelParams& p) {
+  p.validate();
+  const double tau = menon_tau(p);
+  if (!std::isfinite(tau)) return Schedule::empty(p.gamma);
+  const auto period = std::max<std::int64_t>(1, std::llround(tau));
+  return periodic_schedule(p.gamma, period);
+}
+
+Schedule sigma_plus_schedule(const ModelParams& p) {
+  p.validate();
+  std::vector<std::int64_t> steps;
+  std::int64_t cur = 0;
+  double alpha_open = 0.0;  // iteration 0 is a plain even balance
+  while (true) {
+    const double sp = sigma_plus(p, cur, alpha_open, p.alpha);
+    if (!std::isfinite(sp)) break;
+    const auto hop =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(std::floor(sp)));
+    cur += hop;
+    if (cur >= p.gamma) break;
+    steps.push_back(cur);
+    alpha_open = p.alpha;
+  }
+  return Schedule(p.gamma, std::move(steps));
+}
+
+}  // namespace ulba::core

@@ -1,0 +1,96 @@
+// LB schedules and their exact evaluation — Eqs. (3)–(4) of the paper.
+//
+// A schedule is the set of iterations at which the load balancer is invoked
+// over a γ-iteration run. The application starts balanced at iteration 0
+// (paper §II-C assumption), so iteration 0 is an implicit, free balance; each
+// scheduled step pays C seconds and re-opens an interval. The total parallel
+// time is the sum of interval times (Eq. (4)); an interval's compute time
+// follows Eq. (2) (standard) or Eq. (5) (ULBA). Because an interval's cost
+// depends only on its endpoints and the α applied at its opening, schedules
+// can be evaluated exactly in O(#steps) with the closed-form sums — the key
+// property that also enables the exact DP optimum in ulba::opt.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+
+namespace ulba::core {
+
+/// A set of LB invocation points within a γ-iteration run.
+class Schedule {
+ public:
+  /// `steps` must be strictly increasing, each within [1, gamma−1].
+  Schedule(std::int64_t gamma, std::vector<std::int64_t> steps);
+
+  /// The empty schedule (no LB call at all — "static" in the paper's terms).
+  static Schedule empty(std::int64_t gamma);
+
+  /// From a boolean mask of length γ (the simulated-annealing state
+  /// encoding): mask[i] != 0 ⇔ LB at iteration i. mask[0] is ignored
+  /// (iteration 0 is the implicit initial balance).
+  static Schedule from_mask(std::span<const std::uint8_t> mask);
+
+  [[nodiscard]] std::int64_t gamma() const noexcept { return gamma_; }
+  [[nodiscard]] const std::vector<std::int64_t>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t lb_count() const noexcept { return steps_.size(); }
+  [[nodiscard]] std::vector<std::uint8_t> to_mask() const;
+
+  /// Interval boundaries: {0, steps…, γ}.
+  [[nodiscard]] std::vector<std::int64_t> boundaries() const;
+
+  /// "LB @ {12, 40, 77} over 100 iterations" — for logs and examples.
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
+ private:
+  std::int64_t gamma_;
+  std::vector<std::int64_t> steps_;
+};
+
+/// Cost breakdown of a schedule evaluation.
+struct ScheduleCost {
+  double total_seconds = 0.0;    ///< compute + LB — Eq. (4)
+  double compute_seconds = 0.0;  ///< Σ interval compute times
+  double lb_seconds = 0.0;       ///< (#steps)·C
+  std::size_t lb_count = 0;
+};
+
+/// Eq. (4) with Eq. (2) in Eq. (3): total time under the standard method.
+[[nodiscard]] ScheduleCost evaluate_standard(const ModelParams& p,
+                                             const Schedule& s);
+
+/// Eq. (4) with Eq. (5) in Eq. (3): total time under ULBA with the constant,
+/// user-defined α of `p`. The initial interval (opened by the implicit
+/// balance at iteration 0) evolves with the standard shape, as no
+/// underloading has been applied yet.
+[[nodiscard]] ScheduleCost evaluate_ulba(const ModelParams& p,
+                                         const Schedule& s);
+
+/// ULBA evaluation with a per-step α (extension toward the paper's
+/// future-work item of adapting α at runtime). `alphas` must have one entry
+/// per scheduled step.
+[[nodiscard]] ScheduleCost evaluate_ulba_per_step(
+    const ModelParams& p, const Schedule& s, std::span<const double> alphas);
+
+/// Fixed-period schedule: LB at period, 2·period, … (< γ).
+/// The paper's "call every 1000 iterations" strawman (§II).
+[[nodiscard]] Schedule periodic_schedule(std::int64_t gamma,
+                                         std::int64_t period);
+
+/// Menon-τ schedule for the standard method: LB every round(τ) iterations,
+/// τ = √(2Cω/m̂). Empty when m̂ == 0.
+[[nodiscard]] Schedule menon_schedule(const ModelParams& p);
+
+/// σ⁺-driven schedule for ULBA (§III-B's proposal: "use σ⁺ as the LB
+/// steps"): starting from the balanced iteration 0 (α_open = 0), repeatedly
+/// step forward by ⌊σ⁺⌋ (≥ 1). Subsequent intervals open with the ULBA α.
+[[nodiscard]] Schedule sigma_plus_schedule(const ModelParams& p);
+
+}  // namespace ulba::core

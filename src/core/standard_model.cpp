@@ -1,0 +1,24 @@
+#include "core/standard_model.hpp"
+
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+double standard_iteration_time(const ModelParams& p, std::int64_t lb_prev,
+                               std::int64_t t) {
+  ULBA_REQUIRE(t >= 0, "iteration offset must be non-negative");
+  const double share = p.balanced_share(lb_prev);
+  return (share + (p.m + p.a) * static_cast<double>(t)) / p.omega;
+}
+
+double standard_interval_compute_time(const ModelParams& p,
+                                      std::int64_t lb_prev,
+                                      std::int64_t lb_next) {
+  ULBA_REQUIRE(lb_next > lb_prev, "interval must contain >= 1 iteration");
+  const auto len = static_cast<double>(lb_next - lb_prev);
+  const double share = p.balanced_share(lb_prev);
+  // Σ_{t=0}^{L−1} [share + (m+a)t] = L·share + (m+a)·L(L−1)/2
+  return (len * share + (p.m + p.a) * len * (len - 1.0) / 2.0) / p.omega;
+}
+
+}  // namespace ulba::core

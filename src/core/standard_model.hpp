@@ -1,0 +1,35 @@
+// The standard load-balancing method's analytic cost model — paper §II-C.
+//
+// After an LB step at iteration LBp the whole workload Wtot(LBp) is split
+// evenly; every PE then gains `a` per iteration, and the N overloading PEs an
+// extra `m`. The parallel time of the t-th iteration after the step is
+// dominated by an overloading PE (Eq. (2)):
+//
+//     T_std(LBp, t) = (1/ω) · [ Wtot(LBp)/P + (m + a)·t ]
+//
+// Interval and total times follow Eqs. (3)–(4). The interval sum has the
+// closed form used here (arithmetic series), which the unit tests check
+// against brute-force summation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace ulba::core {
+
+/// Eq. (2): seconds taken by the t-th iteration (t = 0, 1, …) after an LB
+/// step performed at iteration `lb_prev`.
+[[nodiscard]] double standard_iteration_time(const ModelParams& p,
+                                             std::int64_t lb_prev,
+                                             std::int64_t t);
+
+/// Compute-only time of the interval [lb_prev, lb_next): the sum of Eq. (2)
+/// over t = 0 … (lb_next − lb_prev − 1), in closed form. Does NOT include the
+/// LB cost C — Eq. (3) adds C once per interval; the schedule evaluator owns
+/// that bookkeeping (the initial, implicitly balanced interval is free).
+[[nodiscard]] double standard_interval_compute_time(const ModelParams& p,
+                                                    std::int64_t lb_prev,
+                                                    std::int64_t lb_next);
+
+}  // namespace ulba::core

@@ -1,0 +1,45 @@
+#include "core/trigger.hpp"
+
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+AdaptiveTrigger::AdaptiveTrigger(std::size_t median_window)
+    : window_(median_window) {}
+
+void AdaptiveTrigger::record_iteration(double seconds) {
+  ULBA_REQUIRE(seconds >= 0.0, "iteration time must be non-negative");
+  window_.add(seconds);
+  if (!has_ref_) {
+    ref_time_ = seconds;
+    has_ref_ = true;
+  }
+  // Algorithm 1, lines 14–15: degradation += median(recent) − ref_time.
+  // This also runs on the reference iteration itself (the delta is then 0
+  // unless earlier iterations still sit in the window).
+  degradation_ += window_.median() - ref_time_;
+}
+
+bool AdaptiveTrigger::should_balance(double threshold_seconds) const noexcept {
+  return degradation_ >= threshold_seconds;
+}
+
+void AdaptiveTrigger::reset() {
+  degradation_ = 0.0;
+  has_ref_ = false;
+}
+
+LbCostEstimator::LbCostEstimator(double prior_seconds) : prior_(prior_seconds) {
+  ULBA_REQUIRE(prior_seconds >= 0.0, "prior LB cost must be non-negative");
+}
+
+void LbCostEstimator::observe(double seconds) {
+  ULBA_REQUIRE(seconds >= 0.0, "LB cost must be non-negative");
+  stats_.add(seconds);
+}
+
+double LbCostEstimator::average() const noexcept {
+  return stats_.count() == 0 ? prior_ : stats_.mean();
+}
+
+}  // namespace ulba::core

@@ -1,0 +1,72 @@
+// The adaptive LB trigger — Algorithm 1 of the paper, which adopts the
+// degradation-accounting idea of Zhai et al. (ICS'18):
+//
+//   * the first iteration after an LB step becomes the *reference* iteration;
+//   * every iteration, the median of the last three iteration times is
+//     compared against the reference, and the difference accumulates into a
+//     running `degradation`;
+//   * when the accumulated degradation reaches the average LB cost (plus, for
+//     ULBA, the anticipated underloading overhead of Eq. (11)), the load
+//     balancer is invoked and the accumulator resets.
+//
+// A companion `LbCostEstimator` maintains the running average LB cost from
+// observed calls, seeded with a user-provided prior (the paper takes it from
+// runtime measurements, principle of persistence).
+#pragma once
+
+#include <cstdint>
+
+#include "support/stats.hpp"
+
+namespace ulba::core {
+
+class AdaptiveTrigger {
+ public:
+  /// `median_window` is the number of recent iteration times the degradation
+  /// test smooths over (Algorithm 1 uses 3).
+  explicit AdaptiveTrigger(std::size_t median_window = 3);
+
+  /// Record the time of the iteration that just completed. The first
+  /// recording after construction or reset() defines the reference time.
+  void record_iteration(double seconds);
+
+  /// Accumulated degradation (seconds) since the reference iteration.
+  [[nodiscard]] double degradation() const noexcept { return degradation_; }
+
+  /// True when the accumulated degradation has reached `threshold_seconds`
+  /// (avg LB cost, plus the ULBA overhead when anticipating).
+  [[nodiscard]] bool should_balance(double threshold_seconds) const noexcept;
+
+  /// Call right after an LB step: zeroes the degradation and arms the next
+  /// recorded iteration as the new reference. The smoothing window is kept —
+  /// Algorithm 1's median looks across the LB boundary.
+  void reset();
+
+  [[nodiscard]] bool has_reference() const noexcept { return has_ref_; }
+  [[nodiscard]] double reference_time() const noexcept { return ref_time_; }
+
+ private:
+  support::RollingWindow window_;
+  double ref_time_ = 0.0;
+  bool has_ref_ = false;
+  double degradation_ = 0.0;
+};
+
+/// Running average of observed LB-step costs, with a prior used until the
+/// first observation arrives.
+class LbCostEstimator {
+ public:
+  explicit LbCostEstimator(double prior_seconds);
+
+  void observe(double seconds);
+  [[nodiscard]] double average() const noexcept;
+  [[nodiscard]] std::size_t observations() const noexcept {
+    return stats_.count();
+  }
+
+ private:
+  double prior_;
+  support::OnlineStats stats_;
+};
+
+}  // namespace ulba::core

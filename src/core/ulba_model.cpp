@@ -1,0 +1,88 @@
+#include "core/ulba_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/standard_model.hpp"
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+namespace {
+/// Sentinel for "the overloading PEs never catch up" (m == 0): far beyond any
+/// schedule horizon but safely addable without overflow.
+constexpr std::int64_t kNeverCatchUp =
+    std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+PostLbShares post_lb_shares(const ModelParams& p, std::int64_t lb_iteration,
+                            double alpha) {
+  ULBA_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  const double share = p.balanced_share(lb_iteration);
+  if (alpha == 0.0) return {share, share};
+  ULBA_REQUIRE(p.N > 0 && p.N < p.P,
+               "underloading requires 0 < N < P so someone absorbs the work");
+  const double ratio =
+      static_cast<double>(p.N) / static_cast<double>(p.P - p.N);
+  return {(1.0 - alpha) * share, (1.0 + alpha * ratio) * share};
+}
+
+std::int64_t sigma_minus(const ModelParams& p, std::int64_t lb_iteration,
+                         double alpha) {
+  ULBA_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  if (alpha == 0.0) return 0;
+  ULBA_REQUIRE(p.N > 0 && p.N < p.P,
+               "underloading requires 0 < N < P so someone absorbs the work");
+  if (p.m <= 0.0) return kNeverCatchUp;
+  // Eq. (8): σ⁻(i) = ⌊ (1 + N/(P−N)) · α·Wtot(i) / (m·P) ⌋
+  const double ratio =
+      static_cast<double>(p.N) / static_cast<double>(p.P - p.N);
+  const double v = (1.0 + ratio) * alpha * p.wtot(lb_iteration) /
+                   (p.m * static_cast<double>(p.P));
+  if (v >= static_cast<double>(kNeverCatchUp)) return kNeverCatchUp;
+  return static_cast<std::int64_t>(std::floor(v));
+}
+
+double ulba_iteration_time(const ModelParams& p, std::int64_t lb_prev,
+                           std::int64_t t, double alpha_open) {
+  ULBA_REQUIRE(t >= 0, "iteration offset must be non-negative");
+  if (alpha_open == 0.0) return standard_iteration_time(p, lb_prev, t);
+  const PostLbShares shares = post_lb_shares(p, lb_prev, alpha_open);
+  const std::int64_t sm = sigma_minus(p, lb_prev, alpha_open);
+  if (t <= sm) {
+    return (shares.non_overloading + p.a * static_cast<double>(t)) / p.omega;
+  }
+  return (shares.overloading + (p.m + p.a) * static_cast<double>(t)) / p.omega;
+}
+
+double ulba_interval_compute_time(const ModelParams& p, std::int64_t lb_prev,
+                                  std::int64_t lb_next, double alpha_open) {
+  ULBA_REQUIRE(lb_next > lb_prev, "interval must contain >= 1 iteration");
+  if (alpha_open == 0.0)
+    return standard_interval_compute_time(p, lb_prev, lb_next);
+
+  const std::int64_t len = lb_next - lb_prev;
+  const PostLbShares shares = post_lb_shares(p, lb_prev, alpha_open);
+  const std::int64_t sm = sigma_minus(p, lb_prev, alpha_open);
+
+  // Branch 1 of Eq. (5) covers t = 0 … min(σ⁻, L−1) inclusive.
+  const std::int64_t last1 = std::min(sm, len - 1);
+  const auto k1 = static_cast<double>(last1 + 1);
+  // Σ_{t=0}^{last1} t = last1·(last1+1)/2
+  const double tsum1 =
+      static_cast<double>(last1) * static_cast<double>(last1 + 1) / 2.0;
+  double total = k1 * shares.non_overloading + p.a * tsum1;
+
+  // Branch 2 covers t = σ⁻+1 … L−1, when the interval outlives σ⁻.
+  if (len - 1 > sm) {
+    const auto k2 = static_cast<double>(len - 1 - sm);
+    // Σ_{t=sm+1}^{L−1} t = (L−1)L/2 − sm(sm+1)/2
+    const double tsum2 =
+        static_cast<double>(len - 1) * static_cast<double>(len) / 2.0 -
+        static_cast<double>(sm) * static_cast<double>(sm + 1) / 2.0;
+    total += k2 * shares.overloading + (p.m + p.a) * tsum2;
+  }
+  return total / p.omega;
+}
+
+}  // namespace ulba::core

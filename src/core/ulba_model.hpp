@@ -1,0 +1,64 @@
+// ULBA's analytic cost model — paper §III-A.
+//
+// At an LB step performed at iteration i, each of the N overloading PEs keeps
+// only a fraction (1 − α) of the perfectly balanced share Wtot(i)/P; the
+// removed workload is split evenly among the P − N others (Figure 1 /
+// Eq. (6)):
+//
+//     W* = (1 − α)·Wtot(i)/P                  (overloading PEs)
+//     W  = (1 + αN/(P−N))·Wtot(i)/P            (non-overloading PEs)
+//
+// Right after the step, iteration time is dominated by the (heavier)
+// non-overloading PEs, which grow at rate `a`. The overloading PEs grow at
+// `m + a` and catch up after σ⁻ iterations (Eq. (8)); from then on they
+// dominate again. Eq. (5):
+//
+//     T_ulba(LBp, t) = (1/ω) · { (1 + αN/(P−N))·Wtot(LBp)/P + a·t,   t ≤ σ⁻
+//                              { (1 − α)·Wtot(LBp)/P + (m+a)·t,      t > σ⁻
+//
+// Setting α = 0 collapses both branches to the standard model, which is the
+// "ULBA is never worse" argument of §IV-A and is verified by unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace ulba::core {
+
+/// Workloads right after an LB step at iteration i (Eq. (6)), for a given
+/// underloading fraction α applied at that step.
+struct PostLbShares {
+  double overloading = 0.0;      ///< W* — share kept by each overloading PE
+  double non_overloading = 0.0;  ///< W  — share of each non-overloading PE
+};
+
+/// Eq. (6). Requires 0 < N < P when α > 0 (validated).
+[[nodiscard]] PostLbShares post_lb_shares(const ModelParams& p,
+                                          std::int64_t lb_iteration,
+                                          double alpha);
+
+/// σ⁻ — Eq. (8): iterations for the overloading PEs to climb back to the
+/// non-overloading PEs' load after a ULBA step at `lb_iteration` with
+/// fraction `alpha`. Returns 0 when α == 0; returns a very large sentinel
+/// (never caught up within any plausible horizon) when m == 0.
+[[nodiscard]] std::int64_t sigma_minus(const ModelParams& p,
+                                       std::int64_t lb_iteration,
+                                       double alpha);
+
+/// Eq. (5): seconds of the t-th iteration (t = 0, 1, …) after an LB step at
+/// `lb_prev` that applied fraction `alpha_open`. alpha_open == 0 reproduces
+/// the standard model exactly.
+[[nodiscard]] double ulba_iteration_time(const ModelParams& p,
+                                         std::int64_t lb_prev, std::int64_t t,
+                                         double alpha_open);
+
+/// Compute-only time of the interval [lb_prev, lb_next) under ULBA, i.e. the
+/// sum of Eq. (5) over t = 0 … L−1 in closed form (two arithmetic series
+/// split at σ⁻). Excludes the LB cost C, like its standard counterpart.
+[[nodiscard]] double ulba_interval_compute_time(const ModelParams& p,
+                                                std::int64_t lb_prev,
+                                                std::int64_t lb_next,
+                                                double alpha_open);
+
+}  // namespace ulba::core

@@ -1,0 +1,64 @@
+#include "core/wir_database.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace ulba::core {
+
+WirDatabase::WirDatabase(std::int64_t pe_count)
+    : entries_(static_cast<std::size_t>(pe_count)) {
+  ULBA_REQUIRE(pe_count >= 1, "database needs at least one PE");
+}
+
+void WirDatabase::update(std::int64_t pe, double wir, std::int64_t iteration) {
+  ULBA_REQUIRE(pe >= 0 && pe < pe_count(), "PE index out of range");
+  ULBA_REQUIRE(iteration >= 0, "iteration stamp must be non-negative");
+  Entry& e = entries_[static_cast<std::size_t>(pe)];
+  if (iteration >= e.iteration) {
+    e.wir = wir;
+    e.iteration = iteration;
+  }
+}
+
+const WirDatabase::Entry& WirDatabase::entry(std::int64_t pe) const {
+  ULBA_REQUIRE(pe >= 0 && pe < pe_count(), "PE index out of range");
+  return entries_[static_cast<std::size_t>(pe)];
+}
+
+std::size_t WirDatabase::merge_from(const WirDatabase& other) {
+  ULBA_REQUIRE(other.pe_count() == pe_count(),
+               "databases must describe the same PE set");
+  std::size_t adopted = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (other.entries_[i].iteration > entries_[i].iteration) {
+      entries_[i] = other.entries_[i];
+      ++adopted;
+    }
+  }
+  return adopted;
+}
+
+std::vector<double> WirDatabase::wirs() const {
+  std::vector<double> out(entries_.size());
+  std::transform(entries_.begin(), entries_.end(), out.begin(),
+                 [](const Entry& e) { return e.known() ? e.wir : 0.0; });
+  return out;
+}
+
+std::int64_t WirDatabase::unknown_count() const noexcept {
+  return static_cast<std::int64_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const Entry& e) { return !e.known(); }));
+}
+
+std::int64_t WirDatabase::max_staleness(std::int64_t now) const noexcept {
+  std::int64_t worst = 0;
+  for (const Entry& e : entries_) {
+    const std::int64_t age = e.known() ? now - e.iteration : now + 1;
+    worst = std::max(worst, age);
+  }
+  return worst;
+}
+
+}  // namespace ulba::core

@@ -1,0 +1,229 @@
+#include "erosion/app.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "bsp/machine.hpp"
+#include "core/detector.hpp"
+#include "core/gossip.hpp"
+#include "core/trigger.hpp"
+#include "lb/driver.hpp"
+#include "lb/stripe_partitioner.hpp"
+#include "support/require.hpp"
+
+namespace ulba::erosion {
+
+void AppConfig::validate() const {
+  ULBA_REQUIRE(pe_count >= 2, "need at least two PEs");
+  ULBA_REQUIRE(columns_per_pe >= 4, "need at least four columns per PE");
+  ULBA_REQUIRE(rows >= 4, "need at least four rows");
+  ULBA_REQUIRE(rock_radius >= 1, "rock radius must be at least one cell");
+  ULBA_REQUIRE(2 * rock_radius + 2 < rows,
+               "rocks must fit inside the domain height");
+  ULBA_REQUIRE(2 * rock_radius + 2 < columns_per_pe,
+               "rocks must fit one per initial stripe without touching");
+  ULBA_REQUIRE(strong_rock_count >= 0 && strong_rock_count <= pe_count,
+               "strong rocks must number in [0, P]");
+  ULBA_REQUIRE(weak_probability >= 0.0 && weak_probability <= 1.0 &&
+                   strong_probability >= 0.0 && strong_probability <= 1.0,
+               "erosion probabilities must lie in [0, 1]");
+  ULBA_REQUIRE(iterations >= 1, "need at least one iteration");
+  ULBA_REQUIRE(flops > 0.0, "PE speed must be positive");
+  ULBA_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  ULBA_REQUIRE(gossip_fanout >= 1 && gossip_fanout < pe_count,
+               "gossip fanout must lie in [1, P)");
+  ULBA_REQUIRE(wir_smoothing > 0.0 && wir_smoothing <= 1.0,
+               "WIR smoothing factor must lie in (0, 1]");
+  ULBA_REQUIRE(lb_period >= 1, "LB period must be at least one iteration");
+  (void)lb::make_partitioner(partitioner);  // throws on unknown names
+  comm.validate();
+}
+
+ErosionApp::ErosionApp(AppConfig config) : config_(config) {
+  config_.validate();
+}
+
+DomainConfig ErosionApp::make_domain() const {
+  // Placement stream: which discs are strongly erodible. "It is not known in
+  // advance where the rocks with a high eroding probability are located."
+  support::Rng placement = support::Rng(config_.seed).fork(0);
+  const auto strong = placement.sample_without_replacement(
+      static_cast<std::size_t>(config_.pe_count),
+      static_cast<std::size_t>(config_.strong_rock_count));
+  std::vector<bool> is_strong(static_cast<std::size_t>(config_.pe_count),
+                              false);
+  for (std::size_t s : strong) is_strong[s] = true;
+
+  DomainConfig d;
+  d.columns = config_.columns();
+  d.rows = config_.rows;
+  d.flop_per_cell = config_.flop_per_cell;
+  d.bytes_per_cell = config_.bytes_per_cell;
+  d.discs.reserve(static_cast<std::size_t>(config_.pe_count));
+  for (std::int64_t i = 0; i < config_.pe_count; ++i) {
+    RockDisc disc;
+    disc.cx = i * config_.columns_per_pe + config_.columns_per_pe / 2;
+    disc.cy = config_.rows / 2;
+    disc.radius = config_.rock_radius;
+    disc.erosion_prob = is_strong[static_cast<std::size_t>(i)]
+                            ? config_.strong_probability
+                            : config_.weak_probability;
+    d.discs.push_back(disc);
+  }
+  d.validate();
+  return d;
+}
+
+RunResult ErosionApp::run() const {
+  const auto P = config_.pe_count;
+  const support::Rng root(config_.seed);
+  // Independent streams: the dynamics stream must not depend on LB decisions
+  // so both methods see identical erosion for one seed.
+  support::Rng dynamics_rng = root.fork(1);
+  support::Rng gossip_rng = root.fork(2);
+
+  ErosionDomain domain(make_domain());
+  bsp::Machine machine(P, config_.flops, config_.comm);
+  lb::CentralizedLb balancer(config_.comm, config_.flops);
+  balancer.set_partitioner(
+      std::shared_ptr<const lb::Partitioner>(
+          lb::make_partitioner(config_.partitioner)));
+  core::GossipNetwork gossip(P, config_.gossip_fanout);
+  const core::OverloadDetector detector(config_.zscore_threshold);
+  core::AdaptiveTrigger trigger;
+
+  // Prior LB-cost estimate: only the communication phases are predictable
+  // before the first step (migration volume and rebuild depend on the data).
+  // A deliberately low prior makes the first LB fire early — a cheap probing
+  // step whose measured cost then calibrates the running average, the same
+  // bootstrap Meta-Balancer-style systems use.
+  const double prior_cost =
+      config_.comm.gather(static_cast<std::int64_t>(sizeof(double)), P) +
+      static_cast<double>(domain.columns()) * 8.0 / config_.flops +
+      config_.comm.broadcast(
+          static_cast<std::int64_t>((P + 1) * sizeof(std::int64_t)), P);
+  core::LbCostEstimator lb_cost(prior_cost);
+
+  lb::StripeBoundaries boundaries =
+      lb::even_partition(domain.columns(), P);
+
+  // Gossip traffic per iteration: each PE pushes its P-entry database
+  // (16 bytes per entry) to `fanout` peers; pushes proceed concurrently, so
+  // one PE's cost is its own `fanout` sends.
+  const double gossip_seconds =
+      static_cast<double>(config_.gossip_fanout) *
+      config_.comm.p2p(16 * P);
+
+  std::vector<double> wir(static_cast<std::size_t>(P), 0.0);
+  std::vector<double> prev_loads;
+  bool wir_valid = false;
+
+  RunResult result;
+  result.iterations.reserve(static_cast<std::size_t>(config_.iterations));
+
+  for (std::int64_t iter = 0; iter < config_.iterations; ++iter) {
+    const auto loads = lb::stripe_loads(domain.column_weights(), boundaries);
+    const auto report = machine.run_superstep(loads, gossip_seconds);
+
+    // --- WIR monitoring (skipped on the iteration right after an LB step:
+    // stripe composition changed, the delta would measure migration, not
+    // application growth).
+    if (wir_valid) {
+      for (std::int64_t p = 0; p < P; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        const double raw = std::max(0.0, loads[i] - prev_loads[i]);
+        wir[i] = config_.wir_smoothing * raw +
+                 (1.0 - config_.wir_smoothing) * wir[i];
+        gossip.observe_local(p, wir[i], iter);
+      }
+    }
+    prev_loads = loads;
+    wir_valid = true;
+    gossip.step(gossip_rng);
+
+    // --- application dynamics (independent of every LB decision)
+    domain.step(dynamics_rng);
+
+    // --- adaptive trigger (Algorithm 1 / Zhai-style degradation)
+    trigger.record_iteration(report.seconds);
+    double threshold = lb_cost.average();
+    if (config_.method == Method::kUlba &&
+        config_.anticipate_overhead_in_trigger) {
+      // Eq. (11): the overhead the next underloading step will impose on a
+      // non-overloading PE, estimated from the main PE's WIR database.
+      const auto known = gossip.database(0).wirs();
+      const std::int64_t n_hat = detector.count_overloading(known);
+      if (n_hat > 0 && 2 * n_hat < P) {
+        threshold += config_.alpha * static_cast<double>(n_hat) /
+                     static_cast<double>(P - n_hat) * domain.total_workload() /
+                     (config_.flops * static_cast<double>(P));
+      }
+    }
+
+    IterationRecord rec;
+    rec.seconds = report.seconds;
+    rec.utilization = report.utilization;
+    rec.degradation = trigger.degradation();
+
+    const bool last_iteration = iter + 1 >= config_.iterations;
+    bool balance_now = false;
+    switch (config_.trigger_mode) {
+      case TriggerMode::kAdaptive:
+        balance_now = trigger.should_balance(threshold);
+        break;
+      case TriggerMode::kPeriodic:
+        balance_now = (iter + 1) % config_.lb_period == 0;
+        break;
+      case TriggerMode::kNever:
+        balance_now = false;
+        break;
+    }
+    if (!last_iteration && balance_now) {
+      // Algorithm 1, lines 17–23: each PE classifies itself from its own
+      // (gossip-fed, possibly stale) database view.
+      std::vector<double> alphas(static_cast<std::size_t>(P), 0.0);
+      if (config_.method == Method::kUlba) {
+        for (std::int64_t p = 0; p < P; ++p) {
+          const auto i = static_cast<std::size_t>(p);
+          const auto view = gossip.database(p).wirs();
+          if (detector.is_overloading(wir[i], view)) {
+            double a = config_.alpha;
+            if (config_.dynamic_alpha) {
+              // E-X4: shrink α as the detected overloading fraction grows
+              // (Eq. (11)'s overhead is ∝ αN/(P−N)); vanish at the 50 %
+              // fallback boundary.
+              const std::int64_t n_hat = detector.count_overloading(view);
+              a *= std::max(0.0, 1.0 - 2.0 * static_cast<double>(n_hat) /
+                                           static_cast<double>(P));
+            }
+            alphas[i] = a;
+          }
+        }
+      }
+      const auto lb_step = balancer.step(alphas, domain.column_weights(),
+                                         domain.column_bytes(), boundaries);
+      machine.charge_global(lb_step.cost.total());
+      lb_cost.observe(lb_step.cost.total());
+      trigger.reset();
+      boundaries = lb_step.boundaries;
+      wir_valid = false;  // next delta would measure the migration
+      if (lb_step.assignment.fell_back_to_standard) ++result.fallback_count;
+      ++result.lb_count;
+      result.lb_seconds += lb_step.cost.total();
+      result.lb_iterations.push_back(iter);
+      rec.lb_performed = true;
+    }
+
+    result.compute_seconds += report.seconds;
+    result.iterations.push_back(rec);
+  }
+
+  result.total_seconds = machine.elapsed_seconds();
+  result.average_utilization = machine.average_utilization();
+  result.eroded_cells = domain.eroded_cells();
+  result.final_imbalance =
+      lb::load_imbalance(domain.column_weights(), boundaries);
+  return result;
+}
+
+}  // namespace ulba::erosion

@@ -1,0 +1,198 @@
+#include "erosion/domain.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace ulba::erosion {
+
+void DomainConfig::validate() const {
+  ULBA_REQUIRE(columns >= 1 && rows >= 1, "domain must be non-empty");
+  ULBA_REQUIRE(flop_per_cell > 0.0, "cell cost must be positive");
+  ULBA_REQUIRE(bytes_per_cell > 0.0, "cell size must be positive");
+  ULBA_REQUIRE(refinement_factor >= 1.0,
+               "refinement must not shrink workload");
+  for (const RockDisc& d : discs) {
+    ULBA_REQUIRE(d.radius >= 1, "disc radius must be at least one cell");
+    ULBA_REQUIRE(d.erosion_prob >= 0.0 && d.erosion_prob <= 1.0,
+                 "erosion probability out of [0, 1]");
+    // Discs must sit strictly inside the domain (with a one-cell fluid
+    // margin) so frontier logic never has to consider domain borders.
+    ULBA_REQUIRE(d.cx - d.radius >= 1 && d.cx + d.radius < columns - 1 &&
+                     d.cy - d.radius >= 1 && d.cy + d.radius < rows - 1,
+                 "disc must lie strictly inside the domain");
+  }
+  // Pairwise disjoint with a one-cell margin, so discs never share frontiers.
+  for (std::size_t i = 0; i < discs.size(); ++i) {
+    for (std::size_t j = i + 1; j < discs.size(); ++j) {
+      const double dx = static_cast<double>(discs[i].cx - discs[j].cx);
+      const double dy = static_cast<double>(discs[i].cy - discs[j].cy);
+      const double dist = std::hypot(dx, dy);
+      ULBA_REQUIRE(dist >= static_cast<double>(discs[i].radius +
+                                               discs[j].radius + 2),
+                   "discs must not touch each other");
+    }
+  }
+}
+
+ErosionDomain::ErosionDomain(DomainConfig config) : config_(std::move(config)) {
+  config_.validate();
+  // All-fluid baseline…
+  weights_.assign(static_cast<std::size_t>(config_.columns),
+                  config_.flop_per_cell * static_cast<double>(config_.rows));
+  // …minus the (cost-free) rock cells of each disc.
+  discs_.reserve(config_.discs.size());
+  for (const RockDisc& d : config_.discs) build_disc(d);
+  total_ = 0.0;
+  for (double w : weights_) total_ += w;
+}
+
+ErosionDomain::Cell ErosionDomain::DiscState::at(std::int64_t lx,
+                                                 std::int64_t ly) const {
+  if (lx < 0 || ly < 0 || lx >= side || ly >= side) return Cell::kOutside;
+  return cells[static_cast<std::size_t>(ly * side + lx)];
+}
+
+void ErosionDomain::build_disc(const RockDisc& disc) {
+  DiscState d;
+  d.side = 2 * disc.radius + 1;
+  d.x0 = disc.cx - disc.radius;
+  d.y0 = disc.cy - disc.radius;
+  d.erosion_prob = disc.erosion_prob;
+  d.cells.assign(static_cast<std::size_t>(d.side * d.side), Cell::kOutside);
+
+  const auto r2 = static_cast<double>(disc.radius) *
+                  static_cast<double>(disc.radius);
+  for (std::int64_t ly = 0; ly < d.side; ++ly) {
+    for (std::int64_t lx = 0; lx < d.side; ++lx) {
+      const auto dx = static_cast<double>(lx - disc.radius);
+      const auto dy = static_cast<double>(ly - disc.radius);
+      if (dx * dx + dy * dy <= r2) {
+        d.cells[static_cast<std::size_t>(ly * d.side + lx)] =
+            Cell::kRockInterior;
+        ++d.rock_remaining;
+        weights_[static_cast<std::size_t>(d.x0 + lx)] -= config_.flop_per_cell;
+      }
+    }
+  }
+
+  // Promote boundary rock (any non-rock 4-neighbour) to frontier.
+  for (std::int64_t ly = 0; ly < d.side; ++ly) {
+    for (std::int64_t lx = 0; lx < d.side; ++lx) {
+      const auto idx = static_cast<std::size_t>(ly * d.side + lx);
+      if (d.cells[idx] != Cell::kRockInterior) continue;
+      const bool touches_fluid =
+          d.at(lx - 1, ly) == Cell::kOutside ||
+          d.at(lx + 1, ly) == Cell::kOutside ||
+          d.at(lx, ly - 1) == Cell::kOutside ||
+          d.at(lx, ly + 1) == Cell::kOutside;
+      if (touches_fluid) {
+        d.cells[idx] = Cell::kRockFrontier;
+        d.frontier.push_back(static_cast<std::int32_t>(idx));
+      }
+    }
+  }
+
+  rock_remaining_ += d.rock_remaining;
+  discs_.push_back(std::move(d));
+}
+
+std::int64_t ErosionDomain::step(support::Rng& rng) {
+  std::int64_t eroded = 0;
+  for (DiscState& d : discs_) eroded += step_disc(d, rng);
+  eroded_ += eroded;
+  return eroded;
+}
+
+std::int64_t ErosionDomain::step_disc(DiscState& d, support::Rng& rng) {
+  if (d.frontier.empty()) return 0;
+
+  // Phase 1 — decide against the pre-step state (synchronous CA semantics).
+  // "Each fluid cell computes a probabilistic erosion of neighboring rock
+  // cells": a rock cell takes one erosion trial per adjacent fluid face. A
+  // refined neighbour consists of four finer cells, two of which border this
+  // rock cell — refinement therefore doubles that face's trials, which is
+  // precisely the paper's "creating even more imbalance" acceleration.
+  std::vector<std::int32_t> to_erode;
+  const auto fluid_faces = [&](std::int64_t lx, std::int64_t ly) -> int {
+    switch (d.at(lx, ly)) {
+      case Cell::kOutside:
+        return 1;
+      case Cell::kRefined:
+        return 2;
+      default:
+        return 0;
+    }
+  };
+  for (const std::int32_t idx : d.frontier) {
+    const std::int64_t lx = idx % d.side;
+    const std::int64_t ly = idx / d.side;
+    const int trials = fluid_faces(lx - 1, ly) + fluid_faces(lx + 1, ly) +
+                       fluid_faces(lx, ly - 1) + fluid_faces(lx, ly + 1);
+    if (trials == 0) continue;  // fully enclosed (cannot happen for
+                                // frontier cells, but cheap)
+    const double p_eff = 1.0 - std::pow(1.0 - d.erosion_prob, trials);
+    if (rng.bernoulli(p_eff)) to_erode.push_back(idx);
+  }
+  if (to_erode.empty()) return 0;
+
+  // Phase 2 — apply: rock → refined fluid, workload appears in the column.
+  const double gained = config_.refinement_factor * config_.flop_per_cell;
+  for (const std::int32_t idx : to_erode) {
+    d.cells[static_cast<std::size_t>(idx)] = Cell::kRefined;
+    const std::int64_t lx = idx % d.side;
+    weights_[static_cast<std::size_t>(d.x0 + lx)] += gained;
+    total_ += gained;
+    --d.rock_remaining;
+    --rock_remaining_;
+  }
+
+  // Phase 3 — newly exposed interior rock joins the frontier.
+  const auto expose = [&](std::int64_t lx, std::int64_t ly) {
+    if (lx < 0 || ly < 0 || lx >= d.side || ly >= d.side) return;
+    const auto idx = static_cast<std::size_t>(ly * d.side + lx);
+    if (d.cells[idx] == Cell::kRockInterior) {
+      d.cells[idx] = Cell::kRockFrontier;
+      d.frontier.push_back(static_cast<std::int32_t>(idx));
+    }
+  };
+  for (const std::int32_t idx : to_erode) {
+    const std::int64_t lx = idx % d.side;
+    const std::int64_t ly = idx / d.side;
+    expose(lx - 1, ly);
+    expose(lx + 1, ly);
+    expose(lx, ly - 1);
+    expose(lx, ly + 1);
+  }
+
+  // Compact the frontier list: drop everything that is no longer frontier.
+  std::erase_if(d.frontier, [&](std::int32_t idx) {
+    return d.cells[static_cast<std::size_t>(idx)] != Cell::kRockFrontier;
+  });
+  return static_cast<std::int64_t>(to_erode.size());
+}
+
+std::vector<double> ErosionDomain::column_bytes() const {
+  // Data volume is proportional to workload: both count
+  // (plain fluid + refinement_factor · refined) cells.
+  const double scale = config_.bytes_per_cell / config_.flop_per_cell;
+  std::vector<double> bytes(weights_.size());
+  for (std::size_t x = 0; x < weights_.size(); ++x)
+    bytes[x] = weights_[x] * scale;
+  return bytes;
+}
+
+std::int64_t ErosionDomain::frontier_size() const noexcept {
+  std::int64_t n = 0;
+  for (const DiscState& d : discs_)
+    n += static_cast<std::int64_t>(d.frontier.size());
+  return n;
+}
+
+std::int64_t ErosionDomain::disc_rock_remaining(std::size_t disc) const {
+  ULBA_REQUIRE(disc < discs_.size(), "disc index out of range");
+  return discs_[disc].rock_remaining;
+}
+
+}  // namespace ulba::erosion

@@ -1,0 +1,108 @@
+// The erosion workload — paper §IV-B.
+//
+// A 2-D mesh of columns × rows cells holds fluid everywhere except inside P
+// rock discs placed along the x-axis. Every iteration, each rock cell on a
+// rock/fluid interface is eroded by its fluid neighbours with probability
+// 1 − (1 − p)^k (p = the disc's erosion probability, k = fluid neighbours,
+// 4-neighbourhood). An eroded rock cell converts into `refinement_factor`
+// finer fluid cells (the paper's mesh-refinement mechanism), so erosion both
+// *adds* workload and *concentrates* it around strongly erodible discs —
+// the m ≫ a regime the ULBA model targets.
+//
+// Implementation notes: fluid is uniform background, so the domain only
+// materializes each disc's bounding box (state per cell) and maintains
+// per-column workloads incrementally. Memory and step cost are O(Σ disc
+// area) and O(frontier), letting paper-scale domains (P·1000 × 1000 cells,
+// radius 250) run in seconds on one node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ulba::erosion {
+
+struct RockDisc {
+  std::int64_t cx = 0;      ///< disc center, x (column)
+  std::int64_t cy = 0;      ///< disc center, y (row)
+  std::int64_t radius = 0;  ///< cells within this Euclidean radius are rock
+  double erosion_prob = 0.0;  ///< per fluid-neighbour erosion probability
+};
+
+struct DomainConfig {
+  std::int64_t columns = 0;  ///< X — domain width
+  std::int64_t rows = 0;     ///< Y — domain height
+  std::vector<RockDisc> discs;
+  double flop_per_cell = 52.0;   ///< fluid-cell cost [FLOP]; 52–1165 per [14]
+  double bytes_per_cell = 64.0;  ///< fluid-cell state size for migration
+  double refinement_factor = 4.0;  ///< fine cells per eroded rock cell
+
+  void validate() const;
+};
+
+class ErosionDomain {
+ public:
+  explicit ErosionDomain(DomainConfig config);
+
+  [[nodiscard]] const DomainConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t columns() const noexcept {
+    return config_.columns;
+  }
+  [[nodiscard]] std::int64_t rows() const noexcept { return config_.rows; }
+
+  /// One erosion iteration (synchronous cellular-automaton update: all
+  /// erosion decisions are taken against the pre-step state). Returns the
+  /// number of rock cells eroded.
+  std::int64_t step(support::Rng& rng);
+
+  /// Per-column workload [FLOP] — what the stripe partitioner cuts.
+  [[nodiscard]] std::span<const double> column_weights() const noexcept {
+    return weights_;
+  }
+
+  /// Per-column data volume [bytes] — what a migration must move.
+  [[nodiscard]] std::vector<double> column_bytes() const;
+
+  /// Current total workload Wtot [FLOP].
+  [[nodiscard]] double total_workload() const noexcept { return total_; }
+
+  [[nodiscard]] std::int64_t rock_cells_remaining() const noexcept {
+    return rock_remaining_;
+  }
+  [[nodiscard]] std::int64_t eroded_cells() const noexcept { return eroded_; }
+  [[nodiscard]] std::int64_t frontier_size() const noexcept;
+  [[nodiscard]] std::int64_t disc_rock_remaining(std::size_t disc) const;
+
+ private:
+  enum class Cell : std::uint8_t {
+    kOutside = 0,       ///< inside the bounding box but not rock (fluid)
+    kRockInterior = 1,  ///< rock with no fluid contact yet
+    kRockFrontier = 2,  ///< rock touching fluid — erodible this step
+    kRefined = 3,       ///< eroded: refinement_factor finer fluid cells
+  };
+
+  struct DiscState {
+    std::int64_t x0 = 0, y0 = 0;  ///< bounding-box origin in the domain
+    std::int64_t side = 0;        ///< box is side × side
+    double erosion_prob = 0.0;
+    std::vector<Cell> cells;            ///< box cell states
+    std::vector<std::int32_t> frontier; ///< indices of kRockFrontier cells
+    std::int64_t rock_remaining = 0;
+
+    [[nodiscard]] Cell at(std::int64_t lx, std::int64_t ly) const;
+  };
+
+  void build_disc(const RockDisc& disc);
+  std::int64_t step_disc(DiscState& d, support::Rng& rng);
+
+  DomainConfig config_;
+  std::vector<DiscState> discs_;
+  std::vector<double> weights_;
+  double total_ = 0.0;
+  std::int64_t rock_remaining_ = 0;
+  std::int64_t eroded_ = 0;
+};
+
+}  // namespace ulba::erosion

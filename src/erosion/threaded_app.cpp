@@ -1,0 +1,257 @@
+#include "erosion/threaded_app.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "core/detector.hpp"
+#include "core/policy.hpp"
+#include "core/trigger.hpp"
+#include "core/wir_database.hpp"
+#include "lb/stripe_partitioner.hpp"
+#include "runtime/spmd.hpp"
+#include "support/require.hpp"
+
+namespace ulba::erosion {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Busy-burn `flop · ns_scale` multiply-add loop steps (~1 ns each): the
+/// knob that turns modeled FLOP into real wall-clock time.
+void burn(double flop, double ns_scale) {
+  volatile double x = 1.0;
+  const auto steps = static_cast<long>(std::max(0.0, flop * ns_scale));
+  for (long i = 0; i < steps; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+/// Sparse column-weight delta produced by one iteration of disc erosion.
+struct Delta {
+  std::int64_t column = 0;
+  double weight = 0.0;
+};
+
+std::vector<double> pack_db(const core::WirDatabase& db) {
+  std::vector<double> out;
+  out.reserve(2 * static_cast<std::size_t>(db.pe_count()));
+  for (std::int64_t pe = 0; pe < db.pe_count(); ++pe) {
+    out.push_back(db.entry(pe).wir);
+    out.push_back(static_cast<double>(db.entry(pe).iteration));
+  }
+  return out;
+}
+
+void merge_packed(core::WirDatabase& db, const std::vector<double>& w) {
+  for (std::int64_t pe = 0; pe < db.pe_count(); ++pe) {
+    const auto stamp =
+        static_cast<std::int64_t>(w[2 * static_cast<std::size_t>(pe) + 1]);
+    if (stamp >= 0) db.update(pe, w[2 * static_cast<std::size_t>(pe)], stamp);
+  }
+}
+
+}  // namespace
+
+void ThreadedConfig::validate() const {
+  ULBA_REQUIRE(pe_count >= 2, "need at least two ranks");
+  ULBA_REQUIRE(columns_per_pe >= 4 && rows >= 4, "domain too small");
+  ULBA_REQUIRE(rock_radius >= 1 && 2 * rock_radius + 2 < rows &&
+                   2 * rock_radius + 2 < columns_per_pe,
+               "rocks must fit one per stripe");
+  ULBA_REQUIRE(strong_rock_count >= 0 && strong_rock_count <= pe_count,
+               "strong rocks must number in [0, P]");
+  ULBA_REQUIRE(iterations >= 1, "need at least one iteration");
+  ULBA_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must lie in [0, 1]");
+  ULBA_REQUIRE(ns_scale > 0.0 && migration_scale >= 0.0,
+               "cost scales must be positive");
+}
+
+ThreadedRunResult run_threaded(const ThreadedConfig& config) {
+  config.validate();
+  const auto P = static_cast<int>(config.pe_count);
+  ThreadedRunResult result;
+  result.iteration_seconds.assign(
+      static_cast<std::size_t>(config.iterations), 0.0);
+
+  // Strong-rock placement — same scheme as the BSP app.
+  support::Rng placement = support::Rng(config.seed).fork(0);
+  const auto strong = placement.sample_without_replacement(
+      static_cast<std::size_t>(config.pe_count),
+      static_cast<std::size_t>(config.strong_rock_count));
+  std::vector<bool> is_strong(static_cast<std::size_t>(config.pe_count));
+  for (std::size_t s : strong) is_strong[s] = true;
+
+  std::vector<std::int64_t> per_rank_eroded(static_cast<std::size_t>(P), 0);
+  double util_sum = 0.0;
+
+  runtime::spmd_run(P, [&](runtime::Comm& comm) {
+    const int rank = comm.rank();
+
+    // --- my disc: one per rank, centered in my initial stripe, simulated
+    // locally with a deterministic per-disc stream.
+    DomainConfig mine;
+    mine.columns = config.columns();
+    mine.rows = config.rows;
+    RockDisc disc;
+    disc.cx = rank * config.columns_per_pe + config.columns_per_pe / 2;
+    disc.cy = config.rows / 2;
+    disc.radius = config.rock_radius;
+    disc.erosion_prob = is_strong[static_cast<std::size_t>(rank)]
+                            ? config.strong_probability
+                            : config.weak_probability;
+    mine.discs = {disc};
+    ErosionDomain my_domain(mine);
+    support::Rng dyn_rng =
+        support::Rng(config.seed).fork(100 + static_cast<std::uint64_t>(rank));
+
+    // --- replicated column weights, kept in sync by exchanging deltas.
+    std::vector<double> weights(static_cast<std::size_t>(config.columns()),
+                                0.0);
+    {
+      // Initialize from every rank's disc footprint: exchange the initial
+      // non-fluid columns once (cheap: one allgather-style round).
+      std::vector<Delta> init;
+      const auto my_w = my_domain.column_weights();
+      const double fluid = mine.flop_per_cell * static_cast<double>(mine.rows);
+      for (std::int64_t x = 0; x < config.columns(); ++x) {
+        weights[static_cast<std::size_t>(x)] = fluid;
+        if (my_w[static_cast<std::size_t>(x)] != fluid)
+          init.push_back({x, my_w[static_cast<std::size_t>(x)] - fluid});
+      }
+      for (int r = 0; r < P; ++r)
+        if (r != rank) comm.send_span<Delta>(r, /*tag=*/2, init);
+      for (int r = 0; r < P; ++r) {
+        if (r == rank) continue;
+        for (const Delta& d : comm.recv_vector<Delta>(r, /*tag=*/2))
+          weights[static_cast<std::size_t>(d.column)] += d.weight;
+      }
+    }
+
+    lb::StripeBoundaries bounds =
+        lb::even_partition(config.columns(), config.pe_count);
+    core::WirDatabase db(config.pe_count);
+    const core::OverloadDetector detector(config.zscore_threshold);
+    core::AdaptiveTrigger trigger;
+    core::LbCostEstimator lb_cost(1e-4);
+    double prev_owned = 0.0;
+    bool wir_valid = false;
+    double smoothed_wir = 0.0;
+    const auto t0 = Clock::now();
+
+    for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
+      // --- compute my stripe (real burn ∝ owned workload)
+      double owned = 0.0;
+      for (std::int64_t x = bounds[static_cast<std::size_t>(rank)];
+           x < bounds[static_cast<std::size_t>(rank) + 1]; ++x)
+        owned += weights[static_cast<std::size_t>(x)];
+      const auto it0 = Clock::now();
+      burn(owned, config.ns_scale);
+      const double my_seconds = seconds_since(it0);
+
+      // --- erode my disc; exchange the sparse weight deltas
+      std::vector<Delta> deltas;
+      {
+        const std::vector<double> before(my_domain.column_weights().begin(),
+                                         my_domain.column_weights().end());
+        (void)my_domain.step(dyn_rng);
+        const auto after = my_domain.column_weights();
+        for (std::int64_t x = disc.cx - disc.radius;
+             x <= disc.cx + disc.radius; ++x) {
+          const auto xi = static_cast<std::size_t>(x);
+          if (after[xi] != before[xi])
+            deltas.push_back({x, after[xi] - before[xi]});
+        }
+      }
+      for (int r = 0; r < P; ++r)
+        if (r != rank) comm.send_span<Delta>(r, /*tag=*/3, deltas);
+      for (const Delta& d : deltas)
+        weights[static_cast<std::size_t>(d.column)] += d.weight;
+      for (int r = 0; r < P; ++r) {
+        if (r == rank) continue;
+        for (const Delta& d : comm.recv_vector<Delta>(r, /*tag=*/3))
+          weights[static_cast<std::size_t>(d.column)] += d.weight;
+      }
+
+      // --- WIR monitoring + systolic gossip round (real messages)
+      if (wir_valid) {
+        const double raw = std::max(0.0, owned - prev_owned);
+        smoothed_wir = config.wir_smoothing * raw +
+                       (1.0 - config.wir_smoothing) * smoothed_wir;
+        db.update(rank, smoothed_wir, iter);
+      }
+      prev_owned = owned;
+      wir_valid = true;
+      const int shift = 1 + static_cast<int>(iter) % (P - 1);
+      comm.send_span<double>((rank + shift) % P, /*tag=*/4, pack_db(db));
+      core::WirDatabase incoming(config.pe_count);
+      merge_packed(incoming,
+                   comm.recv_vector<double>((rank - shift + P) % P, 4));
+      (void)db.merge_from(incoming);
+
+      // --- agree on the iteration time; trigger
+      const double step_seconds = comm.allreduce(
+          my_seconds, [](double a, double b) { return std::max(a, b); });
+      const double sum_seconds = comm.allreduce(my_seconds);
+      if (rank == 0) {
+        result.iteration_seconds[static_cast<std::size_t>(iter)] =
+            step_seconds;
+        if (step_seconds > 0.0)
+          util_sum += sum_seconds / (static_cast<double>(P) * step_seconds);
+      }
+      trigger.record_iteration(step_seconds);
+
+      if (iter + 1 < config.iterations &&
+          trigger.should_balance(lb_cost.average())) {
+        const auto lb0 = Clock::now();
+        double my_alpha = 0.0;
+        if (config.method == Method::kUlba &&
+            detector.is_overloading(db.entry(rank).wir, db.wirs()))
+          my_alpha = config.alpha;
+        const auto alphas = comm.gather(my_alpha, 0);
+        std::vector<std::int64_t> new_bounds;
+        if (rank == 0) {
+          const double total =
+              std::accumulate(weights.begin(), weights.end(), 0.0);
+          const auto assignment = core::compute_lb_weights(alphas, total);
+          new_bounds =
+              lb::partition_by_weight(weights, assignment.fractions);
+          result.lb_iterations.push_back(iter);
+          ++result.lb_count;
+        }
+        comm.broadcast_vector(new_bounds, 0);
+        // Real migration cost: burn ∝ columns entering/leaving my stripe.
+        const std::int64_t moved =
+            std::llabs(new_bounds[static_cast<std::size_t>(rank)] -
+                       bounds[static_cast<std::size_t>(rank)]) +
+            std::llabs(new_bounds[static_cast<std::size_t>(rank) + 1] -
+                       bounds[static_cast<std::size_t>(rank) + 1]);
+        burn(static_cast<double>(moved * config.rows) * 52.0,
+             config.ns_scale * config.migration_scale);
+        bounds = new_bounds;
+        wir_valid = false;
+        trigger.reset();
+        comm.barrier();
+        lb_cost.observe(comm.allreduce(
+            seconds_since(lb0),
+            [](double a, double b) { return std::max(a, b); }));
+      }
+    }
+
+    per_rank_eroded[static_cast<std::size_t>(rank)] = my_domain.eroded_cells();
+    if (rank == 0) result.wall_seconds = seconds_since(t0);
+  });
+
+  result.eroded_cells = std::accumulate(per_rank_eroded.begin(),
+                                        per_rank_eroded.end(),
+                                        std::int64_t{0});
+  result.mean_utilization =
+      util_sum / static_cast<double>(config.iterations);
+  return result;
+}
+
+}  // namespace ulba::erosion

@@ -1,0 +1,66 @@
+// The erosion application on REAL threads — the cross-substrate validation
+// of DESIGN.md §6: the same workload, monitoring, detection, trigger, and
+// Algorithm-2 machinery as erosion/app.hpp, but executed SPMD on the
+// thread-backed message-passing runtime with genuinely measured wall-clock
+// iteration times.
+//
+// Decomposition: stripes own columns (compute + migration), ranks own the
+// *discs* whose centers fall in their initial stripe. Disc erosion is local
+// to its owner (discs are pairwise disjoint by construction), so the only
+// communication the dynamics need is the per-iteration exchange of sparse
+// column-weight deltas — done with an allgather-style exchange — plus the
+// usual WIR gossip, the allreduced iteration time for the trigger, and the
+// centralized LB collectives.
+//
+// The per-cell cost is paid by *burning CPU*: each rank busy-loops
+// proportionally to the workload of its stripe, so iteration times, WIRs,
+// degradation, and LB costs are all real measurements, not models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "erosion/app.hpp"
+
+namespace ulba::erosion {
+
+struct ThreadedConfig {
+  std::int64_t pe_count = 8;
+  std::int64_t columns_per_pe = 96;
+  std::int64_t rows = 96;
+  std::int64_t rock_radius = 24;
+  std::int64_t strong_rock_count = 1;
+  double weak_probability = 0.02;
+  double strong_probability = 0.4;
+  std::int64_t iterations = 60;
+  Method method = Method::kStandard;
+  double alpha = 0.4;
+  double zscore_threshold = 3.0;
+  double wir_smoothing = 0.5;
+  std::uint64_t seed = 1;
+  /// Busy-loop multiply-adds per unit of cell workload — the knob that sets
+  /// the real per-iteration duration.
+  double ns_scale = 4.0;
+  /// Real CPU cost charged per migrated column (models pack/unpack).
+  double migration_scale = 8.0;
+
+  void validate() const;
+  [[nodiscard]] std::int64_t columns() const noexcept {
+    return pe_count * columns_per_pe;
+  }
+};
+
+struct ThreadedRunResult {
+  double wall_seconds = 0.0;         ///< measured on rank 0
+  std::int64_t lb_count = 0;
+  std::vector<std::int64_t> lb_iterations;
+  std::int64_t eroded_cells = 0;     ///< summed over all discs at the end
+  double mean_utilization = 0.0;     ///< avg over iterations of mean/max time
+  std::vector<double> iteration_seconds;  ///< allreduced max per iteration
+};
+
+/// Run the threaded erosion application. Spawns `pe_count` OS threads;
+/// deterministic erosion per seed (timings are real and thus noisy).
+[[nodiscard]] ThreadedRunResult run_threaded(const ThreadedConfig& config);
+
+}  // namespace ulba::erosion

@@ -1,0 +1,79 @@
+#include "lb/driver.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/require.hpp"
+
+namespace ulba::lb {
+
+CentralizedLb::CentralizedLb(bsp::CommModel comm, double flops,
+                             double partition_flops_per_column,
+                             double rebuild_Bps)
+    : comm_(comm),
+      flops_(flops),
+      partition_flops_per_column_(partition_flops_per_column),
+      rebuild_Bps_(rebuild_Bps) {
+  comm_.validate();
+  ULBA_REQUIRE(flops > 0.0, "PE speed must be positive");
+  ULBA_REQUIRE(partition_flops_per_column >= 0.0,
+               "partition scan cost must be non-negative");
+  ULBA_REQUIRE(rebuild_Bps > 0.0, "rebuild throughput must be positive");
+}
+
+void CentralizedLb::set_partitioner(
+    std::shared_ptr<const Partitioner> partitioner) {
+  ULBA_REQUIRE(partitioner != nullptr, "partitioner must not be null");
+  partitioner_ = std::move(partitioner);
+}
+
+LbStepResult CentralizedLb::step(std::span<const double> alphas,
+                                 std::span<const double> column_weights,
+                                 std::span<const double> column_bytes,
+                                 const StripeBoundaries& current) const {
+  const auto pe_count = static_cast<std::int64_t>(alphas.size());
+  ULBA_REQUIRE(pe_count >= 1, "need at least one PE");
+  ULBA_REQUIRE(column_weights.size() == column_bytes.size(),
+               "weights and bytes must describe the same columns");
+  ULBA_REQUIRE(current.size() == alphas.size() + 1,
+               "current boundaries must match the PE count");
+
+  LbStepResult out;
+  const double wtot =
+      std::accumulate(column_weights.begin(), column_weights.end(), 0.0);
+
+  // Algorithm 2, lines 4–7: every PE sends α to the main PE.
+  out.assignment = core::compute_lb_weights(alphas, wtot);
+
+  // Lines 8–15: weight targets → stripe cut against the column weights.
+  out.boundaries =
+      partitioner_->partition(column_weights, out.assignment.fractions);
+
+  // Lines 16–20: broadcast the partition, migrate the data.
+  out.migration = migration_volume(current, out.boundaries, column_bytes);
+
+  out.cost.gather_seconds =
+      comm_.gather(static_cast<std::int64_t>(sizeof(double)), pe_count);
+  out.cost.partition_seconds =
+      static_cast<double>(column_weights.size()) *
+      partition_flops_per_column_ / flops_;
+  out.cost.broadcast_seconds = comm_.broadcast(
+      static_cast<std::int64_t>((pe_count + 1) * sizeof(std::int64_t)),
+      pe_count);
+  out.cost.migration_seconds = comm_.migrate(
+      static_cast<std::int64_t>(out.migration.max_pe_bytes));
+
+  // Post-migration rebuild: every PE re-derives its local structures over
+  // its whole new stripe; the busiest new stripe dominates (BSP semantics).
+  double max_stripe_bytes = 0.0;
+  for (std::size_t p = 0; p + 1 < out.boundaries.size(); ++p) {
+    double stripe = 0.0;
+    for (std::int64_t x = out.boundaries[p]; x < out.boundaries[p + 1]; ++x)
+      stripe += column_bytes[static_cast<std::size_t>(x)];
+    max_stripe_bytes = std::max(max_stripe_bytes, stripe);
+  }
+  out.cost.rebuild_seconds = max_stripe_bytes / rebuild_Bps_;
+  return out;
+}
+
+}  // namespace ulba::lb

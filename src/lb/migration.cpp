@@ -1,0 +1,55 @@
+#include "lb/migration.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace ulba::lb {
+
+MigrationVolume migration_volume(const StripeBoundaries& before,
+                                 const StripeBoundaries& after,
+                                 std::span<const double> column_bytes) {
+  ULBA_REQUIRE(before.size() == after.size(),
+               "before/after must describe the same PE count");
+  ULBA_REQUIRE(before.size() >= 2, "need at least one stripe");
+  ULBA_REQUIRE(before.front() == 0 && after.front() == 0,
+               "boundaries must start at column 0");
+  ULBA_REQUIRE(before.back() == after.back() &&
+                   before.back() ==
+                       static_cast<std::int64_t>(column_bytes.size()),
+               "boundaries must span the whole column range");
+
+  // Prefix sums make every interval query O(1).
+  std::vector<double> prefix(column_bytes.size() + 1, 0.0);
+  for (std::size_t x = 0; x < column_bytes.size(); ++x) {
+    ULBA_REQUIRE(column_bytes[x] >= 0.0, "column bytes must be non-negative");
+    prefix[x + 1] = prefix[x] + column_bytes[x];
+  }
+  const auto range_bytes = [&](std::int64_t lo, std::int64_t hi) {
+    return prefix[static_cast<std::size_t>(hi)] -
+           prefix[static_cast<std::size_t>(lo)];
+  };
+
+  const std::size_t pe_count = before.size() - 1;
+  MigrationVolume out;
+  out.per_pe_bytes.assign(pe_count, 0.0);
+
+  for (std::size_t p = 0; p < pe_count; ++p) {
+    const std::int64_t ob = before[p], oe = before[p + 1];
+    const std::int64_t nb = after[p], ne = after[p + 1];
+    // Overlap of the old and new stripes — data that stays put.
+    const std::int64_t ib = std::max(ob, nb), ie = std::min(oe, ne);
+    const double overlap = ib < ie ? range_bytes(ib, ie) : 0.0;
+    const double sent = range_bytes(ob, oe) - overlap;
+    const double received = range_bytes(nb, ne) - overlap;
+    out.per_pe_bytes[p] = sent + received;
+    out.total_bytes += sent;  // every moved byte is sent exactly once
+  }
+  out.max_pe_bytes = out.per_pe_bytes.empty()
+                         ? 0.0
+                         : *std::max_element(out.per_pe_bytes.begin(),
+                                             out.per_pe_bytes.end());
+  return out;
+}
+
+}  // namespace ulba::lb

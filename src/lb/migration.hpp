@@ -1,0 +1,33 @@
+// Migration-volume accounting for a stripe repartitioning.
+//
+// When the boundaries move, each PE sends the columns it no longer owns and
+// receives the columns it newly owns. On a real machine those transfers
+// proceed in parallel, so the LB step's migration phase is dominated by the
+// PE with the largest send+receive volume — exactly what the virtual-time
+// cost model charges.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lb/stripe_partitioner.hpp"
+
+namespace ulba::lb {
+
+struct MigrationVolume {
+  /// Bytes sent + received per PE.
+  std::vector<double> per_pe_bytes;
+  /// Total bytes crossing PE boundaries (each moved byte counted once).
+  double total_bytes = 0.0;
+  /// max over PEs of per_pe_bytes — the migration bottleneck.
+  double max_pe_bytes = 0.0;
+};
+
+/// Volume of migrating from `before` to `after` given per-column data sizes.
+/// Both boundary sets must cover the same column count and PE count.
+[[nodiscard]] MigrationVolume migration_volume(
+    const StripeBoundaries& before, const StripeBoundaries& after,
+    std::span<const double> column_bytes);
+
+}  // namespace ulba::lb

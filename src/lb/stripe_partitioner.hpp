@@ -1,0 +1,45 @@
+// Weighted stripe partitioner — the centralized LB technique of paper §IV-B:
+//
+// "we implemented a partitioning technique that divides the computational
+//  domain in stripes along the x-axis. … The goal of this technique is to
+//  create P stripes that roughly contain the same number of fluid cells."
+//
+// Generalized to per-PE *weight targets* so the same partitioner serves both
+// the standard method (equal targets) and ULBA (Algorithm-2 targets): stripe
+// p receives consecutive columns whose summed weight approximates
+// target_fraction[p] · total_weight.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ulba::lb {
+
+/// Stripe boundaries: stripe p owns columns [boundaries[p], boundaries[p+1]).
+/// boundaries.front() == 0, boundaries.back() == column count, and every
+/// stripe is non-empty.
+using StripeBoundaries = std::vector<std::int64_t>;
+
+/// Equal-width split of `columns` into `pe_count` stripes (the initial
+/// decomposition, before any weight information exists).
+[[nodiscard]] StripeBoundaries even_partition(std::int64_t columns,
+                                              std::int64_t pe_count);
+
+/// Cut `column_weights` into stripes matching `target_fractions` (which must
+/// be positive and sum to ≈1). Greedy prefix scan: each cut lands on the
+/// column edge that best approximates the cumulative target, while always
+/// leaving at least one column per remaining stripe.
+[[nodiscard]] StripeBoundaries partition_by_weight(
+    std::span<const double> column_weights,
+    std::span<const double> target_fractions);
+
+/// Summed weight of each stripe under the given boundaries.
+[[nodiscard]] std::vector<double> stripe_loads(
+    std::span<const double> column_weights, const StripeBoundaries& b);
+
+/// Largest stripe load divided by the average — 1.0 means perfectly even.
+[[nodiscard]] double load_imbalance(std::span<const double> column_weights,
+                                    const StripeBoundaries& b);
+
+}  // namespace ulba::lb

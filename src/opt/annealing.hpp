@@ -1,0 +1,125 @@
+// Generic simulated-annealing engine — our C++ stand-in for the python
+// `simanneal` module the paper used (§III-B, ref. [15]).
+//
+// The engine is policy-based: a Problem supplies the state type, the energy
+// function, a mutating `move` and its `undo`. Like simanneal, we use an
+// exponential temperature schedule and Metropolis acceptance, and we remember
+// the best state ever visited. Temperatures can be given explicitly or
+// auto-tuned from a short random-walk sample of |ΔE| (accept-almost-anything
+// start, accept-almost-nothing end).
+//
+// Requirements on Problem:
+//   using State = ...;                          (copyable)
+//   double energy(const State&) const;
+//   Move   propose(State&, support::Rng&) const;   // applies a move in place
+//   void   revert(State&, const Move&) const;      // undoes that move
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "support/require.hpp"
+#include "support/rng.hpp"
+
+namespace ulba::opt {
+
+struct AnnealOptions {
+  std::int64_t steps = 20000;   ///< Metropolis steps
+  double t_max = 0.0;           ///< start temperature; ≤ 0 ⇒ auto-tune
+  double t_min = 0.0;           ///< end temperature;   ≤ 0 ⇒ auto-tune
+  std::int64_t tuning_samples = 200;  ///< random moves used for auto-tuning
+};
+
+struct AnnealResult {
+  double best_energy = 0.0;
+  std::int64_t accepted = 0;    ///< accepted moves (incl. improving ones)
+  std::int64_t improved = 0;    ///< moves that improved on the best energy
+};
+
+template <typename Problem>
+class Annealer {
+ public:
+  using State = typename Problem::State;
+
+  Annealer(const Problem& problem, AnnealOptions options)
+      : problem_(problem), options_(options) {
+    ULBA_REQUIRE(options_.steps >= 1, "annealing needs at least one step");
+  }
+
+  /// Anneal starting from `state`; on return `state` holds the best state
+  /// found. Deterministic for a given rng stream.
+  AnnealResult optimize(State& state, support::Rng& rng) const {
+    double t_max = options_.t_max;
+    double t_min = options_.t_min;
+    if (t_max <= 0.0 || t_min <= 0.0) {
+      const auto [lo, hi] = sample_delta_scale(state, rng);
+      // Start hot enough to accept nearly any move, end cold enough to
+      // accept essentially none (simanneal's auto-schedule rationale).
+      if (t_max <= 0.0) t_max = 10.0 * hi;
+      if (t_min <= 0.0) t_min = 1e-4 * (lo > 0.0 ? lo : hi);
+      if (t_max <= 0.0) t_max = 1.0;  // flat landscape: anything works
+      if (t_min <= 0.0 || t_min >= t_max) t_min = t_max * 1e-6;
+    }
+    const double decay = std::log(t_min / t_max);
+
+    double energy = problem_.energy(state);
+    State best = state;
+    double best_energy = energy;
+
+    AnnealResult res;
+    for (std::int64_t step = 0; step < options_.steps; ++step) {
+      const double frac =
+          static_cast<double>(step) / static_cast<double>(options_.steps);
+      const double temp = t_max * std::exp(decay * frac);
+
+      auto move = problem_.propose(state, rng);
+      const double cand = problem_.energy(state);
+      const double delta = cand - energy;
+      if (delta <= 0.0 || rng.uniform(0.0, 1.0) < std::exp(-delta / temp)) {
+        energy = cand;
+        ++res.accepted;
+        if (energy < best_energy) {
+          best_energy = energy;
+          best = state;
+          ++res.improved;
+        }
+      } else {
+        problem_.revert(state, move);
+      }
+    }
+    state = std::move(best);
+    res.best_energy = best_energy;
+    return res;
+  }
+
+ private:
+  /// Random-walk sample of |ΔE| to scale the temperature schedule.
+  std::pair<double, double> sample_delta_scale(const State& start,
+                                               support::Rng& rng) const {
+    State probe = start;
+    double prev = problem_.energy(probe);
+    double lo = 0.0, hi = 0.0;
+    bool first = true;
+    for (std::int64_t i = 0; i < options_.tuning_samples; ++i) {
+      problem_.propose(probe, rng);  // walk freely; no revert
+      const double e = problem_.energy(probe);
+      const double d = std::abs(e - prev);
+      prev = e;
+      if (d == 0.0) continue;
+      if (first) {
+        lo = hi = d;
+        first = false;
+      } else {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    return {lo, hi};
+  }
+
+  const Problem& problem_;
+  AnnealOptions options_;
+};
+
+}  // namespace ulba::opt

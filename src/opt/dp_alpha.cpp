@@ -1,0 +1,97 @@
+#include "opt/dp_alpha.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/ulba_model.hpp"
+#include "support/require.hpp"
+
+namespace ulba::opt {
+
+std::vector<double> default_alpha_grid() {
+  std::vector<double> grid;
+  for (int i = 0; i <= 10; ++i) grid.push_back(i / 10.0);
+  return grid;
+}
+
+OptimalAlphaResult optimal_alpha_schedule(const core::ModelParams& params,
+                                          std::span<const double> grid) {
+  params.validate();
+  ULBA_REQUIRE(!grid.empty(), "alpha grid must not be empty");
+  for (double a : grid)
+    ULBA_REQUIRE(a >= 0.0 && a <= 1.0, "grid alphas must lie in [0, 1]");
+
+  const std::int64_t gamma = params.gamma;
+  const auto n = static_cast<std::size_t>(gamma);
+  const std::size_t k = grid.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  const auto seg = [&](std::int64_t from, std::int64_t to, double alpha) {
+    return core::ulba_interval_compute_time(params, from, to, alpha);
+  };
+
+  // h[j]      = best cost of [j, γ) over all α applied at j (h[γ] = 0);
+  // h_arg[j]  = the α index achieving it;
+  // next[j·k + a] = the end of the best interval opened at j with α = a.
+  std::vector<double> h(n + 1, 0.0);
+  std::vector<std::size_t> h_arg(n + 1, 0);
+  std::vector<std::int64_t> next(n * k, gamma);
+
+  for (std::int64_t i = gamma - 1; i >= 0; --i) {
+    double best_i = kInf;
+    std::size_t best_a = 0;
+    // The initial balance applies no underloading: restrict i == 0 to α = 0
+    // (any grid without 0 still works: seg(0,·,grid[a]) is simply evaluated
+    // with that opening — but the paper's semantics pin it to 0, so we do).
+    for (std::size_t a = 0; a < k; ++a) {
+      const double alpha_open = (i == 0) ? 0.0 : grid[a];
+      double best = seg(i, gamma, alpha_open);
+      std::int64_t best_j = gamma;
+      for (std::int64_t j = i + 1; j < gamma; ++j) {
+        const double cost = seg(i, j, alpha_open) + params.lb_cost +
+                            h[static_cast<std::size_t>(j)];
+        if (cost < best) {
+          best = cost;
+          best_j = j;
+        }
+      }
+      next[static_cast<std::size_t>(i) * k + a] = best_j;
+      if (best < best_i) {
+        best_i = best;
+        best_a = a;
+      }
+      if (i == 0) break;  // α pinned to 0 at the start: one pass suffices
+    }
+    h[static_cast<std::size_t>(i)] = best_i;
+    h_arg[static_cast<std::size_t>(i)] = best_a;
+  }
+
+  // Reconstruct: from iteration 0 (α forced 0) hop interval by interval,
+  // picking each step's best α.
+  OptimalAlphaResult out{core::Schedule::empty(gamma), {}, h[0]};
+  std::vector<std::int64_t> steps;
+  std::vector<double> alphas;
+  std::int64_t i = 0;
+  std::size_t a = 0;  // α index applied at i (0 ⇒ grid[0]; unused at i=0)
+  while (true) {
+    const std::int64_t j = next[static_cast<std::size_t>(i) * k + a];
+    if (j >= gamma) break;
+    steps.push_back(j);
+    a = h_arg[static_cast<std::size_t>(j)];
+    alphas.push_back(grid[a]);
+    i = j;
+  }
+  out.schedule = core::Schedule(gamma, std::move(steps));
+  out.alphas = std::move(alphas);
+
+  // Cross-check against the per-step evaluator.
+  const double check =
+      core::evaluate_ulba_per_step(params, out.schedule, out.alphas)
+          .total_seconds;
+  ULBA_CHECK(std::abs(check - out.total_seconds) <=
+                 1e-9 * std::max(1.0, std::abs(out.total_seconds)),
+             "dynamic-alpha DP reconstruction disagrees with the evaluator");
+  return out;
+}
+
+}  // namespace ulba::opt

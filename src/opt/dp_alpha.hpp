@@ -1,0 +1,44 @@
+// Exact optimal *dynamic α* at the model level — the paper's §V future-work
+// item ("to define the value that α should take to optimize the application
+// performance, and to dynamically adjust α during application execution"),
+// solved exactly for the analytic model.
+//
+// Joint optimization over the LB schedule AND the α applied at each step,
+// restricted to a finite α grid. Because an interval's cost depends only on
+// its opening iteration and the α applied there (see dp_optimal.hpp), the
+// joint problem is still a layered shortest path:
+//
+//     h(j)    = min over α of g(j, α)
+//     g(i, α) = min over j ∈ (i, γ] of seg(i, j, α) + [j < γ]·(C + h(j))
+//
+// with α fixed to 0 at the implicit initial balance. O(γ²·|grid|).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+
+namespace ulba::opt {
+
+struct OptimalAlphaResult {
+  core::Schedule schedule;
+  std::vector<double> alphas;  ///< α applied at each scheduled step
+  double total_seconds = 0.0;
+};
+
+/// Default grid: {0.0, 0.1, …, 1.0}.
+[[nodiscard]] std::vector<double> default_alpha_grid();
+
+/// Exact minimum total time over (schedule × per-step α from `grid`).
+[[nodiscard]] OptimalAlphaResult optimal_alpha_schedule(
+    const core::ModelParams& params, std::span<const double> grid);
+
+[[nodiscard]] inline OptimalAlphaResult optimal_alpha_schedule(
+    const core::ModelParams& params) {
+  const auto grid = default_alpha_grid();
+  return optimal_alpha_schedule(params, grid);
+}
+
+}  // namespace ulba::opt

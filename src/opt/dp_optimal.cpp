@@ -1,0 +1,62 @@
+#include "opt/dp_optimal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/standard_model.hpp"
+#include "core/ulba_model.hpp"
+#include "support/require.hpp"
+
+namespace ulba::opt {
+
+OptimalResult optimal_schedule(const core::ModelParams& params,
+                               CostModel model) {
+  params.validate();
+  const std::int64_t gamma = params.gamma;
+
+  const auto seg = [&](std::int64_t from, std::int64_t to) {
+    if (model == CostModel::kStandard)
+      return core::standard_interval_compute_time(params, from, to);
+    const double alpha_open = (from == 0) ? 0.0 : params.alpha;
+    return core::ulba_interval_compute_time(params, from, to, alpha_open);
+  };
+
+  // g[i] = best cost of iterations [i, γ) given a balance just happened at i
+  // (free for i == 0; the C of a real step is charged on the transition).
+  std::vector<double> g(static_cast<std::size_t>(gamma) + 1, 0.0);
+  std::vector<std::int64_t> next(static_cast<std::size_t>(gamma) + 1, gamma);
+
+  for (std::int64_t i = gamma - 1; i >= 0; --i) {
+    double best = seg(i, gamma);  // run to the end without another LB
+    std::int64_t best_j = gamma;
+    for (std::int64_t j = i + 1; j < gamma; ++j) {
+      const double cost = seg(i, j) + params.lb_cost +
+                          g[static_cast<std::size_t>(j)];
+      if (cost < best) {
+        best = cost;
+        best_j = j;
+      }
+    }
+    g[static_cast<std::size_t>(i)] = best;
+    next[static_cast<std::size_t>(i)] = best_j;
+  }
+
+  std::vector<std::int64_t> steps;
+  for (std::int64_t i = next[0]; i < gamma;
+       i = next[static_cast<std::size_t>(i)]) {
+    steps.push_back(i);
+  }
+  OptimalResult out{core::Schedule(gamma, std::move(steps)), g[0]};
+
+  // Cross-check the reconstruction against the schedule evaluator.
+  const double check =
+      model == CostModel::kStandard
+          ? core::evaluate_standard(params, out.schedule).total_seconds
+          : core::evaluate_ulba(params, out.schedule).total_seconds;
+  ULBA_CHECK(std::abs(check - out.total_seconds) <=
+                 1e-9 * std::max(1.0, std::abs(out.total_seconds)),
+             "DP reconstruction disagrees with the schedule evaluator");
+  return out;
+}
+
+}  // namespace ulba::opt

@@ -1,0 +1,32 @@
+// Exact optimal LB schedule by dynamic programming — an extension beyond the
+// paper (§III-B resorts to simulated annealing and calls finding the optimal
+// intervals "challenging using an analytical method").
+//
+// Key observation: under both Eq. (2) and Eq. (5), the compute time of an
+// interval depends only on its opening iteration (through Wtot(LBp) and the
+// α applied there) and its length — never on earlier decisions. The optimal
+// schedule is therefore a shortest path over nodes 0 … γ:
+//
+//     g(i) = min over j ∈ (i, γ] of  seg(i, j) + [j < γ] · (C + g(j))
+//
+// where seg(i, j) is the closed-form interval compute time with α_open = 0
+// for i = 0 and α otherwise. O(γ²) evaluations — exact, fast, and a hard
+// lower bound that validates both the annealer and the σ⁺ heuristic.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+#include "opt/schedule_problem.hpp"
+
+namespace ulba::opt {
+
+struct OptimalResult {
+  core::Schedule schedule;
+  double total_seconds = 0.0;
+};
+
+/// Exact minimum-total-time schedule for the given model.
+[[nodiscard]] OptimalResult optimal_schedule(const core::ModelParams& params,
+                                             CostModel model);
+
+}  // namespace ulba::opt

@@ -1,0 +1,44 @@
+#include "opt/exhaustive.hpp"
+
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace ulba::opt {
+
+ExhaustiveResult exhaustive_schedule(const core::ModelParams& params,
+                                     CostModel model) {
+  params.validate();
+  ULBA_REQUIRE(params.gamma <= 22,
+               "exhaustive search is exponential; use optimal_schedule (DP) "
+               "for larger horizons");
+  const auto gamma = static_cast<std::size_t>(params.gamma);
+
+  const auto eval = [&](const core::Schedule& s) {
+    return model == CostModel::kStandard
+               ? core::evaluate_standard(params, s).total_seconds
+               : core::evaluate_ulba(params, s).total_seconds;
+  };
+
+  ExhaustiveResult best{core::Schedule::empty(params.gamma), 0.0, 0};
+  best.total_seconds = eval(best.schedule);
+  best.evaluated = 1;
+
+  const std::uint64_t combos = std::uint64_t{1} << (gamma - 1);
+  for (std::uint64_t bits = 1; bits < combos; ++bits) {
+    std::vector<std::int64_t> steps;
+    for (std::size_t i = 1; i < gamma; ++i)
+      if (bits & (std::uint64_t{1} << (i - 1)))
+        steps.push_back(static_cast<std::int64_t>(i));
+    core::Schedule s(params.gamma, std::move(steps));
+    const double cost = eval(s);
+    ++best.evaluated;
+    if (cost < best.total_seconds) {
+      best.total_seconds = cost;
+      best.schedule = std::move(s);
+    }
+  }
+  return best;
+}
+
+}  // namespace ulba::opt

@@ -1,0 +1,23 @@
+// Brute-force enumeration of all 2^(γ−1) schedules — only feasible for tiny
+// horizons, used by the test suite as ground truth for the DP and the
+// annealer.
+#pragma once
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+#include "opt/schedule_problem.hpp"
+
+namespace ulba::opt {
+
+struct ExhaustiveResult {
+  core::Schedule schedule;
+  double total_seconds = 0.0;
+  std::uint64_t evaluated = 0;  ///< number of schedules enumerated
+};
+
+/// Enumerate every schedule over γ iterations (γ ≤ 22 enforced) and return
+/// the cheapest.
+[[nodiscard]] ExhaustiveResult exhaustive_schedule(
+    const core::ModelParams& params, CostModel model);
+
+}  // namespace ulba::opt

@@ -1,0 +1,63 @@
+#include "opt/schedule_problem.hpp"
+
+#include "opt/annealing.hpp"
+#include "support/require.hpp"
+
+namespace ulba::opt {
+
+ScheduleProblem::ScheduleProblem(core::ModelParams params, CostModel model)
+    : params_(params), model_(model) {
+  params_.validate();
+  ULBA_REQUIRE(params_.gamma >= 2,
+               "schedule search needs at least two iterations");
+}
+
+ScheduleProblem::State ScheduleProblem::empty_state() const {
+  return State(static_cast<std::size_t>(params_.gamma), 0);
+}
+
+ScheduleProblem::State ScheduleProblem::state_from(
+    const core::Schedule& s) const {
+  ULBA_REQUIRE(s.gamma() == params_.gamma,
+               "schedule horizon must match the model's gamma");
+  return s.to_mask();
+}
+
+double ScheduleProblem::energy(const State& s) const {
+  const core::Schedule sched = core::Schedule::from_mask(s);
+  switch (model_) {
+    case CostModel::kStandard:
+      return core::evaluate_standard(params_, sched).total_seconds;
+    case CostModel::kUlba:
+      return core::evaluate_ulba(params_, sched).total_seconds;
+  }
+  ULBA_CHECK(false, "unreachable cost model");
+}
+
+ScheduleProblem::Move ScheduleProblem::propose(State& s,
+                                               support::Rng& rng) const {
+  // Flip any position in [1, γ): activate or deactivate one LB call.
+  const std::size_t pos = 1 + rng.index(s.size() - 1);
+  s[pos] ^= 1u;
+  return pos;
+}
+
+void ScheduleProblem::revert(State& s, const Move& m) const { s[m] ^= 1u; }
+
+core::Schedule ScheduleProblem::to_schedule(const State& s) const {
+  return core::Schedule::from_mask(s);
+}
+
+HeuristicSearchResult anneal_schedule(const core::ModelParams& params,
+                                      CostModel model, support::Rng& rng,
+                                      std::int64_t steps) {
+  const ScheduleProblem problem(params, model);
+  AnnealOptions opts;
+  opts.steps = steps;
+  const Annealer<ScheduleProblem> annealer(problem, opts);
+  auto state = problem.empty_state();
+  const auto res = annealer.optimize(state, rng);
+  return {problem.to_schedule(state), res.best_energy};
+}
+
+}  // namespace ulba::opt

@@ -1,0 +1,64 @@
+// The LB-schedule search problem fed to the annealer — paper §III-B:
+//
+// "A state is a vector of booleans of size γ that contains the LB state of
+//  each iteration. … The heuristic search algorithm can move inside the state
+//  space by activating or deactivating the load balancer at a particular
+//  iteration. The cost function to minimize is Eq. (4) using Eq. (5) in
+//  Eq. (3)."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/schedule.hpp"
+#include "support/rng.hpp"
+
+namespace ulba::opt {
+
+/// Which analytic model prices an interval.
+enum class CostModel {
+  kStandard,  ///< Eq. (2) in Eq. (3) — the standard LB method
+  kUlba,      ///< Eq. (5) in Eq. (3) — ULBA with the instance's constant α
+};
+
+class ScheduleProblem {
+ public:
+  /// Boolean LB vector; index 0 is pinned to 0 (iteration 0 is the implicit
+  /// initial balance).
+  using State = std::vector<std::uint8_t>;
+  /// A move is the flipped position (flipping again reverts it).
+  using Move = std::size_t;
+
+  ScheduleProblem(core::ModelParams params, CostModel model);
+
+  [[nodiscard]] const core::ModelParams& params() const noexcept {
+    return params_;
+  }
+
+  [[nodiscard]] State empty_state() const;
+  [[nodiscard]] State state_from(const core::Schedule& s) const;
+
+  [[nodiscard]] double energy(const State& s) const;
+  Move propose(State& s, support::Rng& rng) const;
+  void revert(State& s, const Move& m) const;
+
+  [[nodiscard]] core::Schedule to_schedule(const State& s) const;
+
+ private:
+  core::ModelParams params_;
+  CostModel model_;
+};
+
+/// Convenience entry point replicating the paper's experiment: anneal the
+/// ULBA schedule of `params` and return it with its total time.
+struct HeuristicSearchResult {
+  core::Schedule schedule;
+  double total_seconds = 0.0;
+};
+
+[[nodiscard]] HeuristicSearchResult anneal_schedule(
+    const core::ModelParams& params, CostModel model, support::Rng& rng,
+    std::int64_t steps = 20000);
+
+}  // namespace ulba::opt

@@ -1,0 +1,46 @@
+#include "runtime/comm.hpp"
+
+namespace ulba::runtime {
+
+Comm::Comm(World& world, int rank) : world_(&world), rank_(rank) {
+  ULBA_REQUIRE(rank >= 0 && rank < world.size(), "rank out of range");
+}
+
+void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
+  ULBA_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
+  ULBA_REQUIRE(tag >= 0, "user tags must be non-negative");
+  world_->mailbox(dest).push(
+      Message{rank_, tag, {payload.begin(), payload.end()}});
+}
+
+Message Comm::recv_message(int source, int tag) {
+  ULBA_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+               "source rank out of range");
+  ULBA_REQUIRE(tag == kAnyTag || tag >= 0, "user tags must be non-negative");
+  return world_->mailbox(rank_).pop(source, tag);
+}
+
+bool Comm::try_recv_message(int source, int tag, Message& out) {
+  ULBA_REQUIRE(source == kAnySource || (source >= 0 && source < size()),
+               "source rank out of range");
+  ULBA_REQUIRE(tag == kAnyTag || tag >= 0, "user tags must be non-negative");
+  return world_->mailbox(rank_).try_pop(source, tag, out);
+}
+
+void Comm::barrier() { world_->barrier_wait(); }
+
+void Comm::check_root(int root) const {
+  ULBA_REQUIRE(root >= 0 && root < size(), "root rank out of range");
+}
+
+void Comm::send_internal(int dest, int tag,
+                         std::span<const std::byte> payload) {
+  world_->mailbox(dest).push(
+      Message{rank_, tag, {payload.begin(), payload.end()}});
+}
+
+Message Comm::recv_internal(int source, int tag) {
+  return world_->mailbox(rank_).pop(source, tag);
+}
+
+}  // namespace ulba::runtime

@@ -1,0 +1,51 @@
+// Per-rank mailbox of the message-passing runtime.
+//
+// Semantics mirror MPI's matching rules: a receive names a (source, tag)
+// pair — either may be a wildcard — and messages between one (source,
+// destination, tag) triple are never overtaken (FIFO per channel). Blocking
+// receives park on a condition variable (CP.42: wait with a predicate).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace ulba::runtime {
+
+/// Wildcards for receives, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = std::numeric_limits<int>::min();
+
+struct Message {
+  int source = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  /// Enqueue a message (called from the sender's thread).
+  void push(Message msg);
+
+  /// Block until a message matching (source, tag) is available and return the
+  /// first such message in arrival order.
+  [[nodiscard]] Message pop(int source, int tag);
+
+  /// Non-blocking variant: returns true and fills `out` if a match exists.
+  [[nodiscard]] bool try_pop(int source, int tag, Message& out);
+
+  /// Number of queued messages (for tests / diagnostics).
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  [[nodiscard]] static bool matches(const Message& m, int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace ulba::runtime

@@ -1,0 +1,18 @@
+// SPMD launcher: run one function body on P ranks backed by P threads.
+//
+// Exceptions thrown by any rank are captured and the first one (by rank
+// order) is rethrown to the caller after every thread has joined — a rank
+// failure never leaks detached threads (CP.23/CP.26: threads are scoped,
+// never detached).
+#pragma once
+
+#include <functional>
+
+#include "runtime/comm.hpp"
+
+namespace ulba::runtime {
+
+/// Launch `body(comm)` on `size` ranks and wait for all of them.
+void spmd_run(int size, const std::function<void(Comm&)>& body);
+
+}  // namespace ulba::runtime

@@ -1,0 +1,38 @@
+// The shared state of one SPMD run: the mailboxes of all ranks plus a
+// reusable counting barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+
+namespace ulba::runtime {
+
+class World {
+ public:
+  explicit World(int size);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return size_; }
+  [[nodiscard]] Mailbox& mailbox(int rank);
+
+  /// Reusable (generation-counted) barrier across all `size` ranks.
+  void barrier_wait();
+
+ private:
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace ulba::runtime

@@ -1,0 +1,63 @@
+#include "support/boxplot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+#include "support/stats.hpp"
+
+namespace ulba::support {
+
+BoxPlot box_plot(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "box plot of empty sample");
+  BoxPlot b;
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  b.mean = mean(xs);
+  const double lo_fence = b.q1 - 1.5 * b.iqr();
+  const double hi_fence = b.q3 + 1.5 * b.iqr();
+  b.whisker_lo = b.q3;  // will shrink below
+  b.whisker_hi = b.q1;
+  bool any_in_fence = false;
+  for (double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      b.outliers.push_back(x);
+    } else {
+      any_in_fence = true;
+      b.whisker_lo = std::min(b.whisker_lo, x);
+      b.whisker_hi = std::max(b.whisker_hi, x);
+    }
+  }
+  if (!any_in_fence) {  // pathological: all samples are "outliers"
+    b.whisker_lo = b.q1;
+    b.whisker_hi = b.q3;
+  }
+  std::sort(b.outliers.begin(), b.outliers.end());
+  return b;
+}
+
+std::string render_box(const BoxPlot& b, double lo, double hi,
+                       std::size_t width) {
+  ULBA_REQUIRE(lo < hi, "render_box needs a non-degenerate axis");
+  ULBA_REQUIRE(width >= 10, "render_box needs at least 10 columns");
+  std::string line(width, ' ');
+  const auto col = [&](double x) -> std::size_t {
+    const double t = std::clamp((x - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<std::size_t>(
+        std::lround(t * static_cast<double>(width - 1)));
+  };
+  const std::size_t cw_lo = col(b.whisker_lo), cw_hi = col(b.whisker_hi);
+  const std::size_t cq1 = col(b.q1), cq3 = col(b.q3), cm = col(b.median);
+  for (std::size_t c = cw_lo; c <= cw_hi; ++c) line[c] = '-';
+  for (std::size_t c = cq1; c <= cq3; ++c) line[c] = '=';
+  line[cw_lo] = '|';
+  line[cw_hi] = '|';
+  line[cq1] = '[';
+  line[cq3] = ']';
+  line[cm] = 'M';
+  for (double o : b.outliers) line[col(o)] = 'o';
+  return line;
+}
+
+}  // namespace ulba::support

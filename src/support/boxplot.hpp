@@ -1,0 +1,33 @@
+// Box-plot statistics (Tukey boxes, 1.5·IQR whiskers) — the presentation
+// device behind Figure 3 of the paper (distribution of ULBA gains per
+// percentage of overloading PEs).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ulba::support {
+
+struct BoxPlot {
+  double q1 = 0.0;            ///< first quartile
+  double median = 0.0;
+  double q3 = 0.0;            ///< third quartile
+  double whisker_lo = 0.0;    ///< smallest sample ≥ q1 − 1.5·IQR
+  double whisker_hi = 0.0;    ///< largest sample ≤ q3 + 1.5·IQR
+  double mean = 0.0;
+  std::vector<double> outliers;  ///< samples beyond the whiskers
+
+  [[nodiscard]] double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Compute Tukey box-plot statistics for a non-empty sample.
+[[nodiscard]] BoxPlot box_plot(std::span<const double> xs);
+
+/// One-line ASCII rendering of a box on a fixed [lo, hi] axis of `width`
+/// characters:   ····|──[══M══]───|····   (| = whiskers, [ ] = quartiles,
+/// M = median). Useful to eyeball Figure-3-style panels in a terminal.
+[[nodiscard]] std::string render_box(const BoxPlot& b, double lo, double hi,
+                                     std::size_t width = 60);
+
+}  // namespace ulba::support

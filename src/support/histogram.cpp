@@ -1,0 +1,86 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/require.hpp"
+#include "support/stats.hpp"
+
+namespace ulba::support {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ULBA_REQUIRE(bins > 0, "histogram needs at least one bin");
+  ULBA_REQUIRE(lo < hi, "histogram range must be non-degenerate");
+  width_ = (hi - lo) / static_cast<double>(bins);
+}
+
+Histogram Histogram::from_data(std::span<const double> xs, std::size_t bins) {
+  ULBA_REQUIRE(!xs.empty(), "histogram from empty data");
+  double lo = min_of(xs);
+  double hi = max_of(xs);
+  if (lo == hi) {  // degenerate sample: widen symmetrically
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  Histogram h(lo, hi, bins);
+  h.add_all(xs);
+  return h;
+}
+
+void Histogram::add(double x) {
+  const double pos = (x - lo_) / width_;
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(pos));
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  ULBA_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::probability(std::size_t bin) const {
+  ULBA_REQUIRE(bin < counts_.size(), "bin index out of range");
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  ULBA_REQUIRE(bin < counts_.size(), "bin index out of range");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_lo(bin) + width_ / 2.0;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::ostringstream os;
+  double pmax = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    pmax = std::max(pmax, probability(b));
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double p = probability(b);
+    const auto len =
+        pmax > 0.0 ? static_cast<std::size_t>(std::lround(
+                         p / pmax * static_cast<double>(bar_width)))
+                   : std::size_t{0};
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "[%+9.4f, %+9.4f) %6.3f ", bin_lo(b),
+                  bin_hi(b), p);
+    os << buf << std::string(len, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ulba::support

@@ -1,0 +1,48 @@
+// Equal-width histogram — the presentation device behind Figure 2 of the
+// paper (probability distribution of gains between the heuristic search and
+// the σ⁺ upper bound).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ulba::support {
+
+class Histogram {
+ public:
+  /// Build a histogram with `bins` equal-width bins covering [lo, hi].
+  /// Values outside the range are clamped into the first/last bin so that
+  /// probabilities always sum to one.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Convenience: span the data's own [min, max].
+  static Histogram from_data(std::span<const double> xs, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  /// Fraction of all samples in `bin` (0 if histogram is empty).
+  [[nodiscard]] double probability(std::size_t bin) const;
+  /// Inclusive lower edge of `bin`.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering (one row per bin, bar length ∝ probability).
+  [[nodiscard]] std::string render(std::size_t bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ulba::support

@@ -1,0 +1,46 @@
+// Error-handling primitives used across the ULBA library.
+//
+// Two categories, following the C++ Core Guidelines (I.6, E.12):
+//   * ULBA_REQUIRE  — precondition on caller-supplied values; throws
+//                     std::invalid_argument so misuse is reportable and
+//                     testable.
+//   * ULBA_CHECK    — internal invariant; throws std::logic_error because a
+//                     failure is a bug in this library, not in the caller.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ulba::support {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& what) {
+  std::ostringstream os;
+  os << "requirement violated: (" << expr << ") at " << file << ':' << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& what) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':'
+     << line;
+  if (!what.empty()) os << " — " << what;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ulba::support
+
+#define ULBA_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ulba::support::throw_requirement(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define ULBA_CHECK(cond, msg)                                           \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::ulba::support::throw_invariant(#cond, __FILE__, __LINE__, msg);  \
+  } while (false)

@@ -1,0 +1,20 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace ulba::support {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  ULBA_REQUIRE(k <= n, "cannot sample more elements than the population");
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace ulba::support

@@ -1,0 +1,125 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/require.hpp"
+
+namespace ulba::support {
+
+double mean(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "mean of empty sample");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double stddev_population(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "stddev of empty sample");
+  const double mu = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  ULBA_REQUIRE(!xs.empty(), "quantile of empty sample");
+  ULBA_REQUIRE(q >= 0.0 && q <= 1.0, "quantile fraction out of [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double z_score(double x, std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "z-score against empty sample");
+  const double sd = stddev_population(xs);
+  if (sd == 0.0) return 0.0;
+  return (x - mean(xs)) / sd;
+}
+
+double min_of(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs) {
+  ULBA_REQUIRE(!xs.empty(), "summary of empty sample");
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = min_of(xs);
+  s.q25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q75 = quantile(xs, 0.75);
+  s.max = max_of(xs);
+  return s;
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+RollingWindow::RollingWindow(std::size_t capacity) : cap_(capacity) {
+  ULBA_REQUIRE(capacity > 0, "rolling window needs capacity >= 1");
+  data_.reserve(capacity);
+}
+
+void RollingWindow::add(double x) {
+  if (data_.size() < cap_) {
+    data_.push_back(x);
+  } else {
+    data_[head_] = x;
+    head_ = (head_ + 1) % cap_;
+  }
+}
+
+double RollingWindow::median() const {
+  ULBA_REQUIRE(!data_.empty(), "median of empty window");
+  return support::median(data_);
+}
+
+double RollingWindow::mean() const {
+  ULBA_REQUIRE(!data_.empty(), "mean of empty window");
+  return support::mean(data_);
+}
+
+}  // namespace ulba::support

@@ -1,0 +1,98 @@
+// Descriptive statistics used throughout the reproduction: the z-score
+// overload detector (paper §III-C), the Figure-2/3 result summaries, and the
+// Zhai-style adaptive trigger (median of recent iteration times, running mean
+// of LB costs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ulba::support {
+
+/// Arithmetic mean of a non-empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n−1 denominator); 0 for samples of size < 2.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Population standard deviation (n denominator), used by the z-score
+/// detector so a lone outlier among few PEs is still flagged.
+[[nodiscard]] double stddev_population(std::span<const double> xs);
+
+/// Median without mutating the input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolation quantile (R type-7, the numpy default), q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// z-score of x within the sample `xs` using the population stddev.
+/// Returns 0 when the sample is degenerate (stddev == 0).
+[[nodiscard]] double z_score(double x, std::span<const double> xs);
+
+/// Minimum / maximum of a non-empty sample.
+[[nodiscard]] double min_of(std::span<const double> xs);
+[[nodiscard]] double max_of(std::span<const double> xs);
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Welford's online mean/variance — O(1) memory running statistics.
+/// Used for the running average LB cost in the adaptive trigger and for the
+/// BSP machine's utilization accounting.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< unbiased; 0 if n < 2
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  void reset() noexcept { *this = OnlineStats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-capacity window of the most recent samples; median-of-window is what
+/// Algorithm 1 (line 14) uses to smooth per-iteration times.
+class RollingWindow {
+ public:
+  explicit RollingWindow(std::size_t capacity);
+
+  void add(double x);
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool full() const noexcept { return data_.size() == cap_; }
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return data_;
+  }
+  void clear() noexcept { data_.clear(); head_ = 0; }
+
+ private:
+  std::size_t cap_;
+  std::size_t head_ = 0;       // insertion cursor once full
+  std::vector<double> data_;   // chronological until full, then ring
+};
+
+}  // namespace ulba::support

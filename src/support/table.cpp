@@ -1,0 +1,62 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace ulba::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ULBA_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ULBA_REQUIRE(cells.size() == headers_.size(),
+               "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(std::size_t indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const std::string pad(indent, ' ');
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << pad;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < width.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace ulba::support

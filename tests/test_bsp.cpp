@@ -1,0 +1,155 @@
+// The virtual-time BSP machine and the α-β communication model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bsp/comm_model.hpp"
+#include "bsp/machine.hpp"
+
+namespace ulba::bsp {
+namespace {
+
+TEST(CommModel, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_THROW((void)ceil_log2(0), std::invalid_argument);
+}
+
+TEST(CommModel, P2pIsAlphaPlusBytesOverBeta) {
+  CommModel m;
+  m.latency_s = 2e-6;
+  m.bandwidth_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(m.p2p(0), 2e-6);
+  EXPECT_DOUBLE_EQ(m.p2p(1'000'000), 2e-6 + 1e-3);
+  EXPECT_THROW((void)m.p2p(-1), std::invalid_argument);
+}
+
+TEST(CommModel, CollectiveCostsScaleWithLogP) {
+  const CommModel m;
+  EXPECT_DOUBLE_EQ(m.broadcast(100, 8), 3.0 * m.p2p(100));
+  EXPECT_DOUBLE_EQ(m.allreduce(100, 8), 3.0 * m.p2p(100));
+  EXPECT_DOUBLE_EQ(m.broadcast(100, 1), 0.0);
+}
+
+TEST(CommModel, GatherIsTreeLatencyPlusRootVolume) {
+  CommModel m;
+  m.latency_s = 1e-6;
+  m.bandwidth_Bps = 1e9;
+  // ⌈log₂5⌉ = 3 latency terms + 4·8 bytes through the root.
+  EXPECT_DOUBLE_EQ(m.gather(8, 5), 3.0 * 1e-6 + 32.0 / 1e9);
+  EXPECT_THROW((void)m.gather(-1, 4), std::invalid_argument);
+}
+
+TEST(CommModel, MigrationZeroBytesIsFree) {
+  const CommModel m;
+  EXPECT_DOUBLE_EQ(m.migrate(0), 0.0);
+  EXPECT_GT(m.migrate(1), 0.0);
+}
+
+TEST(CommModel, ValidateRejectsBadConstants) {
+  CommModel m;
+  m.latency_s = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m.latency_s = 1e-6;
+  m.bandwidth_Bps = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Machine, SuperstepTakesMaxOverPes) {
+  Machine mach(4, 10.0);  // 10 FLOPS
+  const std::vector<double> loads{10.0, 20.0, 40.0, 20.0};
+  const StepReport r = mach.run_superstep(loads);
+  EXPECT_DOUBLE_EQ(r.seconds, 4.0);  // 40 FLOP / 10 FLOPS
+  EXPECT_EQ(r.slowest_pe, 2);
+  EXPECT_DOUBLE_EQ(r.utilization, (90.0 / 4.0) / 40.0);
+  EXPECT_DOUBLE_EQ(mach.elapsed_seconds(), 4.0);
+}
+
+TEST(Machine, PerfectBalanceIsFullUtilization) {
+  Machine mach(8, 1.0);
+  const std::vector<double> loads(8, 5.0);
+  const StepReport r = mach.run_superstep(loads);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Machine, CommTimeAddsToElapsedButNotBusy) {
+  Machine mach(2, 1.0);
+  const std::vector<double> loads{2.0, 2.0};
+  (void)mach.run_superstep(loads, 3.0);
+  EXPECT_DOUBLE_EQ(mach.elapsed_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(mach.busy_pe_seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(mach.average_utilization(), 4.0 / (2.0 * 5.0));
+}
+
+TEST(Machine, ChargeGlobalAdvancesTheClock) {
+  Machine mach(2, 1.0);
+  mach.charge_global(7.5);
+  EXPECT_DOUBLE_EQ(mach.elapsed_seconds(), 7.5);
+  EXPECT_THROW(mach.charge_global(-1.0), std::invalid_argument);
+}
+
+TEST(Machine, AccumulatesOverSteps) {
+  Machine mach(2, 2.0);
+  (void)mach.run_superstep(std::vector<double>{4.0, 2.0});
+  (void)mach.run_superstep(std::vector<double>{2.0, 6.0});
+  EXPECT_DOUBLE_EQ(mach.elapsed_seconds(), 5.0);  // 2 + 3
+  EXPECT_EQ(mach.supersteps(), 2);
+  EXPECT_DOUBLE_EQ(mach.busy_pe_seconds(), 7.0);  // (6 + 8)/2
+}
+
+TEST(Machine, ResetClearsEverything) {
+  Machine mach(2, 1.0);
+  (void)mach.run_superstep(std::vector<double>{1.0, 1.0});
+  mach.reset();
+  EXPECT_DOUBLE_EQ(mach.elapsed_seconds(), 0.0);
+  EXPECT_EQ(mach.supersteps(), 0);
+  EXPECT_DOUBLE_EQ(mach.average_utilization(), 1.0);
+}
+
+TEST(Machine, ValidatesInput) {
+  EXPECT_THROW(Machine(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Machine(2, 0.0), std::invalid_argument);
+  Machine mach(2, 1.0);
+  EXPECT_THROW((void)mach.run_superstep(std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)mach.run_superstep(std::vector<double>{1.0, -1.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)mach.run_superstep(std::vector<double>{1.0, 1.0}, -0.5),
+      std::invalid_argument);
+}
+
+TEST(Machine, ZeroWorkStepIsFreeAndBalanced) {
+  Machine mach(3, 1.0);
+  const StepReport r = mach.run_superstep(std::vector<double>{0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(r.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+// Analytic consistency: feeding the machine the standard model's per-PE
+// loads reproduces Eq. (2) exactly.
+TEST(Machine, ReproducesStandardModelIterationTimes) {
+  const std::int64_t P = 10, N = 2;
+  const double w0_share = 100.0, a = 2.0, m = 15.0;
+  Machine mach(P, 1.0);
+  for (std::int64_t t = 0; t < 5; ++t) {
+    std::vector<double> loads(static_cast<std::size_t>(P));
+    for (std::int64_t p = 0; p < P; ++p) {
+      const bool overloading = p < N;
+      loads[static_cast<std::size_t>(p)] =
+          w0_share + (overloading ? (m + a) : a) * static_cast<double>(t);
+    }
+    const StepReport r = mach.run_superstep(loads);
+    // Eq. (2) with ω = 1: share + (m+a)·t.
+    EXPECT_DOUBLE_EQ(r.seconds, w0_share + (m + a) * static_cast<double>(t));
+  }
+}
+
+}  // namespace
+}  // namespace ulba::bsp

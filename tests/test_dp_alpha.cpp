@@ -1,0 +1,112 @@
+// The exact dynamic-α DP (paper §V future work, solved at model level).
+#include "opt/dp_alpha.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/instance.hpp"
+#include "opt/dp_optimal.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::opt {
+namespace {
+
+using core::ModelParams;
+using ulba::testing::paper_scale_params;
+using ulba::testing::tiny_params;
+
+TEST(DpAlpha, DefaultGridCoversUnitInterval) {
+  const auto grid = default_alpha_grid();
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+}
+
+TEST(DpAlpha, RejectsBadGrid) {
+  const ModelParams p = tiny_params();
+  EXPECT_THROW((void)optimal_alpha_schedule(p, std::vector<double>{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)optimal_alpha_schedule(p, std::vector<double>{0.5, 1.5}),
+      std::invalid_argument);
+}
+
+TEST(DpAlpha, OneAlphaPerScheduledStep) {
+  const ModelParams p = paper_scale_params();
+  const auto res = optimal_alpha_schedule(p);
+  EXPECT_EQ(res.alphas.size(), res.schedule.lb_count());
+  for (double a : res.alphas) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+}
+
+TEST(DpAlpha, NeverWorseThanAnyFixedAlphaOptimum) {
+  // Free per-step α subsumes every fixed α on the same grid.
+  const ModelParams base = paper_scale_params();
+  const auto free_res = optimal_alpha_schedule(base);
+  for (double alpha : default_alpha_grid()) {
+    ModelParams p = base;
+    p.alpha = alpha;
+    const auto fixed = optimal_schedule(p, CostModel::kUlba);
+    EXPECT_LE(free_res.total_seconds, fixed.total_seconds * (1.0 + 1e-12))
+        << "alpha = " << alpha;
+  }
+}
+
+TEST(DpAlpha, SingletonZeroGridEqualsStandardOptimum) {
+  const ModelParams p = paper_scale_params();
+  const auto res = optimal_alpha_schedule(p, std::vector<double>{0.0});
+  const auto std_dp = optimal_schedule(p, CostModel::kStandard);
+  EXPECT_NEAR(res.total_seconds, std_dp.total_seconds,
+              1e-9 * std_dp.total_seconds);
+}
+
+TEST(DpAlpha, BalancedApplicationSchedulesNothing) {
+  ModelParams p = tiny_params();
+  p.m = 0.0;  // no imbalance growth: the best schedule is empty
+  const auto res = optimal_alpha_schedule(p);
+  EXPECT_TRUE(res.schedule.steps().empty());
+}
+
+TEST(DpAlpha, FreeLbStillBalancesOften) {
+  ModelParams p = tiny_params();
+  p.lb_cost = 0.0;
+  const auto res = optimal_alpha_schedule(p);
+  EXPECT_GE(res.schedule.lb_count(), 5u);
+}
+
+TEST(DpAlpha, GainOverFixedAlphaOnRandomInstances) {
+  // On Table-II instances the free-α optimum improves (weakly) on the
+  // instance's own fixed α — and the margin is the model-level value of the
+  // paper's proposed runtime α adaptation.
+  support::Rng rng(31337);
+  const core::InstanceGenerator gen;
+  double total_margin = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const ModelParams p = gen.sample(rng).params;
+    const auto fixed = optimal_schedule(p, CostModel::kUlba);
+    // The instance's α is continuous; put it on the grid so the free-α
+    // search genuinely subsumes the fixed-α one.
+    auto grid = default_alpha_grid();
+    grid.push_back(p.alpha);
+    const auto free_res = optimal_alpha_schedule(p, grid);
+    EXPECT_LE(free_res.total_seconds,
+              fixed.total_seconds * (1.0 + 1e-12));
+    total_margin += 1.0 - free_res.total_seconds / fixed.total_seconds;
+  }
+  EXPECT_GE(total_margin, 0.0);
+}
+
+TEST(DpAlpha, DeterministicResult) {
+  const ModelParams p = paper_scale_params();
+  const auto a = optimal_alpha_schedule(p);
+  const auto b = optimal_alpha_schedule(p);
+  EXPECT_EQ(a.schedule.steps(), b.schedule.steps());
+  EXPECT_EQ(a.alphas, b.alphas);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+}
+
+}  // namespace
+}  // namespace ulba::opt

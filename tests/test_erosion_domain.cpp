@@ -1,0 +1,205 @@
+// The erosion workload: disc construction, frontier dynamics, workload
+// accounting, and determinism.
+#include "erosion/domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace ulba::erosion {
+namespace {
+
+DomainConfig small_config(double prob = 0.4) {
+  DomainConfig c;
+  c.columns = 100;
+  c.rows = 60;
+  c.flop_per_cell = 52.0;
+  c.bytes_per_cell = 64.0;
+  RockDisc d;
+  d.cx = 50;
+  d.cy = 30;
+  d.radius = 10;
+  d.erosion_prob = prob;
+  c.discs = {d};
+  return c;
+}
+
+TEST(DomainConfig, ValidationCatchesBadDiscs) {
+  DomainConfig c = small_config();
+  c.discs[0].cx = 5;  // radius 10 disc at x = 5 leaves the domain
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = small_config();
+  c.discs[0].erosion_prob = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = small_config();
+  c.discs.push_back(c.discs[0]);  // two identical discs overlap
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = small_config();
+  c.refinement_factor = 0.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Domain, InitialRockCountMatchesDiscArea) {
+  const ErosionDomain dom(small_config());
+  // |{(x,y): x²+y² ≤ r²}| ≈ πr²; exact for r = 10 is 317.
+  EXPECT_EQ(dom.rock_cells_remaining(), 317);
+  EXPECT_EQ(dom.eroded_cells(), 0);
+}
+
+TEST(Domain, InitialWorkloadIsFluidCellsTimesCost) {
+  const DomainConfig c = small_config();
+  const ErosionDomain dom(c);
+  const double expected =
+      52.0 * (static_cast<double>(c.columns * c.rows) - 317.0);
+  EXPECT_NEAR(dom.total_workload(), expected, 1e-6);
+  // Column weights sum to the same total.
+  const auto w = dom.column_weights();
+  const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(sum, expected, 1e-6);
+}
+
+TEST(Domain, ColumnsOutsideTheDiscAreFullFluid) {
+  const ErosionDomain dom(small_config());
+  const auto w = dom.column_weights();
+  EXPECT_DOUBLE_EQ(w[0], 52.0 * 60.0);
+  EXPECT_DOUBLE_EQ(w[99], 52.0 * 60.0);
+  // The disc's central column carries 21 rock cells (y ∈ [20, 40]).
+  EXPECT_DOUBLE_EQ(w[50], 52.0 * (60.0 - 21.0));
+}
+
+TEST(Domain, FrontierStartsOnTheRim) {
+  const ErosionDomain dom(small_config());
+  const auto frontier = dom.frontier_size();
+  // The rim of a radius-10 disc has ≈ 2πr ≈ 63 boundary cells; the discrete
+  // count is within a small band.
+  EXPECT_GE(frontier, 36);
+  EXPECT_LE(frontier, 80);
+}
+
+TEST(Domain, ZeroProbabilityNeverErodes) {
+  ErosionDomain dom(small_config(0.0));
+  support::Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(dom.step(rng), 0);
+  EXPECT_EQ(dom.rock_cells_remaining(), 317);
+}
+
+TEST(Domain, ProbabilityOneErodesWholeFrontierEachStep) {
+  ErosionDomain dom(small_config(1.0));
+  support::Rng rng(2);
+  const auto frontier_before = dom.frontier_size();
+  const auto eroded = dom.step(rng);
+  EXPECT_EQ(eroded, frontier_before);
+}
+
+TEST(Domain, ProbabilityOneEventuallyErodesEverything) {
+  ErosionDomain dom(small_config(1.0));
+  support::Rng rng(3);
+  // A radius-10 disc erodes layer by layer: ≤ r + a few steps.
+  for (int i = 0; i < 20 && dom.rock_cells_remaining() > 0; ++i)
+    (void)dom.step(rng);
+  EXPECT_EQ(dom.rock_cells_remaining(), 0);
+  EXPECT_EQ(dom.eroded_cells(), 317);
+  EXPECT_EQ(dom.frontier_size(), 0);
+  // Further steps are harmless no-ops.
+  EXPECT_EQ(dom.step(rng), 0);
+}
+
+TEST(Domain, WorkloadGrowsByRefinementFactorPerErodedCell) {
+  const DomainConfig c = small_config(0.4);
+  ErosionDomain dom(c);
+  const double w0 = dom.total_workload();
+  support::Rng rng(4);
+  const auto eroded = dom.step(rng);
+  ASSERT_GT(eroded, 0);
+  EXPECT_NEAR(dom.total_workload(),
+              w0 + static_cast<double>(eroded) * 4.0 * 52.0, 1e-6);
+}
+
+TEST(Domain, RockPlusErodedIsConserved) {
+  ErosionDomain dom(small_config(0.3));
+  support::Rng rng(5);
+  for (int i = 0; i < 15; ++i) (void)dom.step(rng);
+  EXPECT_EQ(dom.rock_cells_remaining() + dom.eroded_cells(), 317);
+}
+
+TEST(Domain, ErosionIsMonotone) {
+  ErosionDomain dom(small_config(0.2));
+  support::Rng rng(6);
+  std::int64_t prev_rock = dom.rock_cells_remaining();
+  for (int i = 0; i < 25; ++i) {
+    (void)dom.step(rng);
+    EXPECT_LE(dom.rock_cells_remaining(), prev_rock);
+    prev_rock = dom.rock_cells_remaining();
+  }
+}
+
+TEST(Domain, DeterministicForFixedSeed) {
+  const auto run = [](std::uint64_t seed) {
+    ErosionDomain dom(small_config(0.4));
+    support::Rng rng(seed);
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 10; ++i) trace.push_back(dom.step(rng));
+    return trace;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Domain, StrongDiscErodesFasterThanWeak) {
+  DomainConfig c;
+  c.columns = 200;
+  c.rows = 60;
+  RockDisc weak{50, 30, 10, 0.02};
+  RockDisc strong{150, 30, 10, 0.4};
+  c.discs = {weak, strong};
+  ErosionDomain dom(c);
+  support::Rng rng(7);
+  for (int i = 0; i < 10; ++i) (void)dom.step(rng);
+  EXPECT_GT(dom.disc_rock_remaining(0), dom.disc_rock_remaining(1));
+}
+
+TEST(Domain, ColumnBytesProportionalToWeights) {
+  const DomainConfig c = small_config();
+  ErosionDomain dom(c);
+  support::Rng rng(8);
+  (void)dom.step(rng);
+  const auto w = dom.column_weights();
+  const auto b = dom.column_bytes();
+  ASSERT_EQ(w.size(), b.size());
+  for (std::size_t x = 0; x < w.size(); ++x)
+    EXPECT_NEAR(b[x], w[x] * 64.0 / 52.0, 1e-9);
+}
+
+TEST(Domain, MultipleDiscsErodeIndependently) {
+  DomainConfig c;
+  c.columns = 300;
+  c.rows = 60;
+  c.discs = {RockDisc{50, 30, 10, 1.0}, RockDisc{150, 30, 10, 0.0},
+             RockDisc{250, 30, 10, 1.0}};
+  ErosionDomain dom(c);
+  support::Rng rng(9);
+  for (int i = 0; i < 15; ++i) (void)dom.step(rng);
+  EXPECT_EQ(dom.disc_rock_remaining(0), 0);
+  EXPECT_EQ(dom.disc_rock_remaining(1), 317);
+  EXPECT_EQ(dom.disc_rock_remaining(2), 0);
+}
+
+TEST(Domain, ErodedColumnGainsWeightLocally) {
+  ErosionDomain dom(small_config(1.0));
+  support::Rng rng(10);
+  const std::vector<double> before(dom.column_weights().begin(),
+                                   dom.column_weights().end());
+  (void)dom.step(rng);
+  const auto after = dom.column_weights();
+  // The leftmost disc column (x = 40) held exactly the rim cell, which has
+  // now refined: weight increased there; far-away columns are untouched.
+  EXPECT_GT(after[40], before[40]);
+  EXPECT_DOUBLE_EQ(after[10], before[10]);
+}
+
+}  // namespace
+}  // namespace ulba::erosion

@@ -1,0 +1,45 @@
+// Shared fixtures/factories for the ULBA test suites.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace ulba::testing {
+
+/// A hand-checkable model: P = 10 PEs, N = 2 overloading, 20 iterations,
+/// W0 = 1000 FLOP, a = 2, m = 15, ω = 1 FLOPS (so FLOP == seconds), C = 50 s.
+/// ΔW = 2·10 + 15·2 = 50 FLOP/iteration.
+inline core::ModelParams tiny_params() {
+  core::ModelParams p;
+  p.P = 10;
+  p.N = 2;
+  p.gamma = 20;
+  p.w0 = 1000.0;
+  p.a = 2.0;
+  p.m = 15.0;
+  p.alpha = 0.5;
+  p.omega = 1.0;
+  p.lb_cost = 50.0;
+  return p;
+}
+
+/// A paper-scale model: P = 512, N = 32, γ = 100, ω = 1 GFLOPS, workload and
+/// rates inside the Table-II envelope.
+inline core::ModelParams paper_scale_params() {
+  core::ModelParams p;
+  p.P = 512;
+  p.N = 32;
+  p.gamma = 100;
+  p.omega = 1e9;
+  p.w0 = 300e7 * static_cast<double>(p.P);
+  const double delta_w = (p.w0 / static_cast<double>(p.P)) * 0.1;
+  const double y = 0.9;
+  p.a = delta_w * (1.0 - y) / static_cast<double>(p.P);
+  p.m = delta_w * y / static_cast<double>(p.N);
+  p.alpha = 0.5;
+  p.lb_cost = (p.w0 / static_cast<double>(p.P)) * 0.5 / p.omega;
+  return p;
+}
+
+}  // namespace ulba::testing

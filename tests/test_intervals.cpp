@@ -1,0 +1,143 @@
+// Menon's τ, Eq. (12)'s root, and σ⁺ = σ⁻ + τ.
+#include "core/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ulba_model.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::core {
+namespace {
+
+using ulba::testing::paper_scale_params;
+using ulba::testing::tiny_params;
+
+TEST(Intervals, MenonTauHandChecked) {
+  const ModelParams p = tiny_params();  // C = 50 s, ω = 1, m̂ = 12
+  EXPECT_NEAR(menon_tau(p), std::sqrt(2.0 * 50.0 / 12.0), 1e-12);
+}
+
+TEST(Intervals, DiscreteTauIsHalfAnIterationAboveContinuous) {
+  // The paper's claim that discretizing Eq. (10) changes the bound
+  // insignificantly: τ_disc = τ_cont + ½ + O(1/τ).
+  const ModelParams p = ulba::testing::paper_scale_params();
+  const double cont = menon_tau(p);
+  const double disc = menon_tau_discrete(p);
+  EXPECT_GT(disc, cont);
+  EXPECT_NEAR(disc - cont, 0.5, 0.5 / cont + 1e-6);
+}
+
+TEST(Intervals, DiscreteTauSatisfiesTheDiscreteSum) {
+  const ModelParams p = ulba::testing::paper_scale_params();
+  const double tau = menon_tau_discrete(p);
+  // Plug back: m̂·τ(τ−1)/(2ω) == C.
+  EXPECT_NEAR(p.m_hat() * tau * (tau - 1.0) / (2.0 * p.omega), p.lb_cost,
+              1e-9 * p.lb_cost);
+}
+
+TEST(Intervals, DiscreteTauInfiniteWithoutGrowth) {
+  ModelParams p = tiny_params();
+  p.m = 0.0;
+  EXPECT_TRUE(std::isinf(menon_tau_discrete(p)));
+}
+
+TEST(Intervals, MenonTauInfiniteWithoutImbalanceGrowth) {
+  ModelParams p = tiny_params();
+  p.m = 0.0;
+  EXPECT_TRUE(std::isinf(menon_tau(p)));
+}
+
+TEST(Intervals, MenonTauMonotoneInCostAndRate) {
+  ModelParams p = paper_scale_params();
+  const double base = menon_tau(p);
+  p.lb_cost *= 4.0;
+  EXPECT_NEAR(menon_tau(p), 2.0 * base, 1e-9 * base);  // τ ∝ √C
+  p.lb_cost /= 4.0;
+  p.m *= 4.0;
+  EXPECT_NEAR(menon_tau(p), base / 2.0, 1e-9 * base);  // τ ∝ 1/√m̂
+}
+
+TEST(Intervals, AlphaZeroCollapsesToMenon) {
+  // §III-B: "the proposed approach behaves like the standard LB method when
+  // α is set to zero. In this case, σ⁻(i) = 0 and σ⁺(i) = √(2C/m̂)."
+  const ModelParams p = paper_scale_params();
+  EXPECT_EQ(sigma_minus(p, 0, 0.0), 0);
+  EXPECT_NEAR(sigma_plus(p, 0, 0.0, 0.0), menon_tau(p),
+              1e-9 * menon_tau(p));
+}
+
+TEST(Intervals, Eq12RootSatisfiesEq9) {
+  // The returned τ must satisfy Cost_imbalance(τ) = Cost_overhead + C.
+  const ModelParams p = paper_scale_params();
+  for (double alpha : {0.1, 0.4, 0.9}) {
+    const std::int64_t sm = sigma_minus(p, 0, alpha);
+    const double tau = sigma_plus_tau(p, 0, sm, alpha);
+    const double lhs = p.m_hat() * tau * tau / (2.0 * p.omega);
+    const double ratio =
+        static_cast<double>(p.N) / static_cast<double>(p.P - p.N);
+    const double rhs =
+        alpha * ratio *
+            (p.wtot(0) + (static_cast<double>(sm) + tau) * p.delta_w()) /
+            (p.omega * static_cast<double>(p.P)) +
+        p.lb_cost;
+    EXPECT_NEAR(lhs, rhs, 1e-6 * rhs) << "alpha = " << alpha;
+  }
+}
+
+TEST(Intervals, SigmaPlusExceedsSigmaMinus) {
+  const ModelParams p = paper_scale_params();
+  for (double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    const std::int64_t sm = sigma_minus(p, 0, alpha);
+    const double sp = sigma_plus(p, 0, alpha, alpha);
+    EXPECT_GT(sp, static_cast<double>(sm)) << "alpha = " << alpha;
+  }
+}
+
+TEST(Intervals, UlbaOverheadLengthensTheInterval) {
+  // With the same α applied, σ⁺'s τ part exceeds Menon's τ: the upcoming
+  // step's overhead raises the trigger threshold.
+  const ModelParams p = paper_scale_params();
+  const double tau_menon = menon_tau(p);
+  const double tau_ulba = sigma_plus_tau(p, 0, sigma_minus(p, 0, 0.5), 0.5);
+  EXPECT_GT(tau_ulba, tau_menon);
+}
+
+TEST(Intervals, SigmaPlusInfiniteWithoutGrowth) {
+  ModelParams p = paper_scale_params();
+  p.m = 0.0;
+  EXPECT_TRUE(std::isinf(sigma_plus(p, 0, 0.5, 0.5)));
+}
+
+TEST(Intervals, IntervalBoundsAgreeWithPieces) {
+  const ModelParams p = paper_scale_params();
+  const IntervalBounds b = interval_bounds(p, 10, 0.4, 0.4);
+  EXPECT_EQ(b.lower, sigma_minus(p, 10, 0.4));
+  EXPECT_DOUBLE_EQ(b.upper, sigma_plus(p, 10, 0.4, 0.4));
+}
+
+TEST(Intervals, RejectsBadAlpha) {
+  const ModelParams p = paper_scale_params();
+  EXPECT_THROW((void)sigma_plus_tau(p, 0, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)sigma_plus_tau(p, 0, -1, 0.5), std::invalid_argument);
+}
+
+class SigmaPlusAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaPlusAlphaSweep, RootIsPositiveAndFinite) {
+  const double alpha = GetParam();
+  const ModelParams p = paper_scale_params();
+  for (std::int64_t lb_prev : {0, 13, 60}) {
+    const double sp = sigma_plus(p, lb_prev, alpha, alpha);
+    EXPECT_TRUE(std::isfinite(sp));
+    EXPECT_GT(sp, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, SigmaPlusAlphaSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.7, 0.8, 0.9, 1.0));
+
+}  // namespace
+}  // namespace ulba::core

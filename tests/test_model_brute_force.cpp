@@ -1,0 +1,149 @@
+// Deep cross-validation of the closed-form schedule evaluators against
+// per-iteration brute-force simulation, over random Table-II instances and
+// random schedules. These are the load-bearing formulas behind Figures 2
+// and 3, so they get their own adversarial suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/schedule.hpp"
+#include "core/standard_model.hpp"
+#include "core/ulba_model.hpp"
+#include "support/rng.hpp"
+
+namespace ulba::core {
+namespace {
+
+/// Simulate a schedule iteration by iteration with the Eq.(2)/Eq.(5)
+/// per-iteration formulas — no closed forms anywhere.
+double brute_force_total(const ModelParams& p, const Schedule& s, bool ulba) {
+  const auto bounds = s.boundaries();
+  double total = static_cast<double>(s.lb_count()) * p.lb_cost;
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const std::int64_t from = bounds[k];
+    const std::int64_t to = bounds[k + 1];
+    const double alpha_open = (!ulba || k == 0) ? 0.0 : p.alpha;
+    for (std::int64_t t = 0; t < to - from; ++t) {
+      total += ulba ? ulba_iteration_time(p, from, t, alpha_open)
+                    : standard_iteration_time(p, from, t);
+    }
+  }
+  return total;
+}
+
+Schedule random_schedule(std::int64_t gamma, support::Rng& rng) {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(gamma), 0);
+  const std::size_t flips = rng.index(8);
+  for (std::size_t i = 0; i < flips; ++i)
+    mask[1 + rng.index(static_cast<std::size_t>(gamma) - 1)] = 1;
+  return Schedule::from_mask(mask);
+}
+
+class BruteForceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceSweep, StandardEvaluatorMatchesSimulation) {
+  support::Rng rng(GetParam());
+  const InstanceGenerator gen;
+  for (int i = 0; i < 5; ++i) {
+    const ModelParams p = gen.sample(rng).params;
+    const Schedule s = random_schedule(p.gamma, rng);
+    const double closed = evaluate_standard(p, s).total_seconds;
+    const double brute = brute_force_total(p, s, /*ulba=*/false);
+    EXPECT_NEAR(closed, brute, 1e-9 * brute)
+        << "instance " << i << ", " << s.to_string();
+  }
+}
+
+TEST_P(BruteForceSweep, UlbaEvaluatorMatchesSimulation) {
+  support::Rng rng(GetParam() + 5000);
+  const InstanceGenerator gen;
+  for (int i = 0; i < 5; ++i) {
+    const ModelParams p = gen.sample(rng).params;
+    const Schedule s = random_schedule(p.gamma, rng);
+    const double closed = evaluate_ulba(p, s).total_seconds;
+    const double brute = brute_force_total(p, s, /*ulba=*/true);
+    EXPECT_NEAR(closed, brute, 1e-9 * brute)
+        << "instance " << i << ", " << s.to_string() << ", alpha=" << p.alpha;
+  }
+}
+
+TEST_P(BruteForceSweep, UlbaNeverCheaperThanItsOwnBestResponse) {
+  // Internal consistency: for any instance and schedule, the ULBA evaluation
+  // with α = 0 equals the standard evaluation exactly.
+  support::Rng rng(GetParam() + 9000);
+  const InstanceGenerator gen;
+  ModelParams p = gen.sample(rng).params;
+  p.alpha = 0.0;
+  const Schedule s = random_schedule(p.gamma, rng);
+  EXPECT_DOUBLE_EQ(evaluate_ulba(p, s).total_seconds,
+                   evaluate_standard(p, s).total_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceSweep,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// Degenerate-but-legal corners the closed forms must survive.
+TEST(BruteForceCorners, ZeroInitialWorkload) {
+  ModelParams p;
+  p.P = 8;
+  p.N = 2;
+  p.gamma = 20;
+  p.w0 = 0.0;
+  p.a = 1.0;
+  p.m = 10.0;
+  p.alpha = 0.5;
+  p.omega = 1.0;
+  p.lb_cost = 5.0;
+  p.validate();
+  const Schedule s(20, {7, 14});
+  EXPECT_NEAR(evaluate_ulba(p, s).total_seconds,
+              brute_force_total(p, s, true), 1e-9);
+}
+
+TEST(BruteForceCorners, SingleIterationHorizon) {
+  ModelParams p;
+  p.P = 4;
+  p.N = 1;
+  p.gamma = 1;
+  p.w0 = 100.0;
+  p.a = 1.0;
+  p.m = 5.0;
+  p.omega = 1.0;
+  p.validate();
+  const Schedule s = Schedule::empty(1);
+  EXPECT_DOUBLE_EQ(evaluate_standard(p, s).total_seconds, 25.0);  // W0/P
+}
+
+TEST(BruteForceCorners, AlphaOneFullUnload) {
+  ModelParams p;
+  p.P = 10;
+  p.N = 1;
+  p.gamma = 30;
+  p.w0 = 1000.0;
+  p.a = 0.0;
+  p.m = 20.0;
+  p.alpha = 1.0;
+  p.omega = 1.0;
+  p.lb_cost = 10.0;
+  p.validate();
+  const Schedule s(30, {10});
+  EXPECT_NEAR(evaluate_ulba(p, s).total_seconds,
+              brute_force_total(p, s, true), 1e-9);
+}
+
+TEST(BruteForceCorners, EveryIterationBalanced) {
+  const InstanceGenerator gen;
+  support::Rng rng(77);
+  const ModelParams p = gen.sample(rng).params;
+  std::vector<std::int64_t> every;
+  for (std::int64_t i = 1; i < p.gamma; ++i) every.push_back(i);
+  const Schedule s(p.gamma, std::move(every));
+  EXPECT_NEAR(evaluate_ulba(p, s).total_seconds,
+              brute_force_total(p, s, true),
+              1e-9 * brute_force_total(p, s, true));
+}
+
+}  // namespace
+}  // namespace ulba::core

@@ -1,0 +1,154 @@
+// Algorithm-2 weight computation: conservation, Eq. (6) agreement, fallback.
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/ulba_model.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::core {
+namespace {
+
+TEST(Policy, AllZeroAlphasGiveEvenSplit) {
+  const std::vector<double> alphas(8, 0.0);
+  const WeightAssignment w = compute_lb_weights(alphas, 800.0);
+  EXPECT_EQ(w.overloading_count, 0);
+  EXPECT_FALSE(w.fell_back_to_standard);
+  for (double v : w.weights) EXPECT_DOUBLE_EQ(v, 100.0);
+  for (double f : w.fractions) EXPECT_DOUBLE_EQ(f, 0.125);
+}
+
+TEST(Policy, MatchesEq6WithCommonAlpha) {
+  // P = 10, N = 2, α = 0.5, Wtot = 1000 ⇒ W* = 50, W = 112.5 (Eq. (6)).
+  std::vector<double> alphas(10, 0.0);
+  alphas[3] = alphas[7] = 0.5;
+  const WeightAssignment w = compute_lb_weights(alphas, 1000.0);
+  EXPECT_EQ(w.overloading_count, 2);
+  EXPECT_DOUBLE_EQ(w.weights[3], 50.0);
+  EXPECT_DOUBLE_EQ(w.weights[7], 50.0);
+  for (std::size_t p = 0; p < 10; ++p)
+    if (p != 3 && p != 7) {
+      EXPECT_DOUBLE_EQ(w.weights[p], 112.5);
+    }
+}
+
+TEST(Policy, AgreesWithPostLbShares) {
+  const ModelParams mp = ulba::testing::tiny_params();
+  const PostLbShares shares = post_lb_shares(mp, 0, mp.alpha);
+  std::vector<double> alphas(static_cast<std::size_t>(mp.P), 0.0);
+  for (std::int64_t i = 0; i < mp.N; ++i)
+    alphas[static_cast<std::size_t>(i)] = mp.alpha;
+  const WeightAssignment w = compute_lb_weights(alphas, mp.wtot(0));
+  EXPECT_DOUBLE_EQ(w.weights[0], shares.overloading);
+  EXPECT_DOUBLE_EQ(w.weights[static_cast<std::size_t>(mp.N)],
+                   shares.non_overloading);
+}
+
+TEST(Policy, WeightsAlwaysConserveTotal) {
+  for (double alpha : {0.1, 0.4, 0.9}) {
+    for (int n_over : {1, 3, 7}) {
+      std::vector<double> alphas(20, 0.0);
+      for (int i = 0; i < n_over; ++i)
+        alphas[static_cast<std::size_t>(i)] = alpha;
+      const WeightAssignment w = compute_lb_weights(alphas, 12345.0);
+      const double sum =
+          std::accumulate(w.weights.begin(), w.weights.end(), 0.0);
+      EXPECT_NEAR(sum, 12345.0, 1e-9 * 12345.0)
+          << "alpha=" << alpha << " n=" << n_over;
+      const double fsum =
+          std::accumulate(w.fractions.begin(), w.fractions.end(), 0.0);
+      EXPECT_NEAR(fsum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Policy, MixedAlphasConserveToo) {
+  std::vector<double> alphas(10, 0.0);
+  alphas[0] = 0.2;
+  alphas[4] = 0.7;
+  alphas[9] = 0.5;
+  const WeightAssignment w = compute_lb_weights(alphas, 1000.0);
+  EXPECT_EQ(w.overloading_count, 3);
+  EXPECT_DOUBLE_EQ(w.weights[0], 80.0);   // (1−0.2)·100
+  EXPECT_DOUBLE_EQ(w.weights[4], 30.0);   // (1−0.7)·100
+  EXPECT_DOUBLE_EQ(w.weights[9], 50.0);   // (1−0.5)·100
+  // The 7 others share S = 1.4: (1 + 1.4/7)·100 = 120.
+  EXPECT_DOUBLE_EQ(w.weights[1], 120.0);
+  const double sum = std::accumulate(w.weights.begin(), w.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1000.0, 1e-9);
+}
+
+TEST(Policy, MajorityOverloadingFallsBackToEvenSplit) {
+  // §III-C: ≥ 50 % of PEs with α > 0 ⇒ behave as the standard method.
+  std::vector<double> alphas(10, 0.0);
+  for (int i = 0; i < 5; ++i) alphas[static_cast<std::size_t>(i)] = 0.4;
+  const WeightAssignment w = compute_lb_weights(alphas, 1000.0);
+  EXPECT_TRUE(w.fell_back_to_standard);
+  for (double v : w.weights) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(Policy, JustUnderMajorityStillUnderloads) {
+  std::vector<double> alphas(10, 0.0);
+  for (int i = 0; i < 4; ++i) alphas[static_cast<std::size_t>(i)] = 0.4;
+  const WeightAssignment w = compute_lb_weights(alphas, 1000.0);
+  EXPECT_FALSE(w.fell_back_to_standard);
+  EXPECT_DOUBLE_EQ(w.weights[0], 60.0);
+}
+
+TEST(Policy, EveryoneOverloadingFallsBack) {
+  const std::vector<double> alphas(6, 0.9);
+  const WeightAssignment w = compute_lb_weights(alphas, 600.0);
+  EXPECT_TRUE(w.fell_back_to_standard);
+  for (double v : w.weights) EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(Policy, ZeroTotalWorkloadGivesEvenFractions) {
+  const std::vector<double> alphas(4, 0.0);
+  const WeightAssignment w = compute_lb_weights(alphas, 0.0);
+  for (double f : w.fractions) EXPECT_DOUBLE_EQ(f, 0.25);
+}
+
+TEST(Policy, RejectsBadInput) {
+  EXPECT_THROW((void)compute_lb_weights({}, 1.0), std::invalid_argument);
+  const std::vector<double> bad{0.5, 1.5};
+  EXPECT_THROW((void)compute_lb_weights(bad, 1.0), std::invalid_argument);
+  const std::vector<double> neg{-0.1, 0.0};
+  EXPECT_THROW((void)compute_lb_weights(neg, 1.0), std::invalid_argument);
+  const std::vector<double> ok{0.0, 0.0};
+  EXPECT_THROW((void)compute_lb_weights(ok, -5.0), std::invalid_argument);
+}
+
+TEST(Policy, AlphaOneEmptiesOverloadingPe) {
+  std::vector<double> alphas(5, 0.0);
+  alphas[2] = 1.0;
+  const WeightAssignment w = compute_lb_weights(alphas, 500.0);
+  EXPECT_DOUBLE_EQ(w.weights[2], 0.0);
+  EXPECT_DOUBLE_EQ(w.weights[0], 125.0);  // (1 + 1/4)·100
+}
+
+class PolicyConservationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(PolicyConservationSweep, SumsToTotal) {
+  const auto [pe_count, n_over, alpha] = GetParam();
+  if (2 * n_over >= pe_count) GTEST_SKIP() << "fallback regime";
+  std::vector<double> alphas(static_cast<std::size_t>(pe_count), 0.0);
+  for (int i = 0; i < n_over; ++i)
+    alphas[static_cast<std::size_t>(i)] = alpha;
+  const double wtot = 1e12;
+  const WeightAssignment w = compute_lb_weights(alphas, wtot);
+  const double sum = std::accumulate(w.weights.begin(), w.weights.end(), 0.0);
+  EXPECT_NEAR(sum, wtot, 1e-6 * wtot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PolicyConservationSweep,
+    ::testing::Combine(::testing::Values(16, 64, 512),
+                       ::testing::Values(1, 5, 20),
+                       ::testing::Values(0.1, 0.5, 1.0)));
+
+}  // namespace
+}  // namespace ulba::core

@@ -1,0 +1,195 @@
+// Schedules, their evaluation (Eqs. (3)–(4)), and the policy builders.
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/intervals.hpp"
+#include "core/standard_model.hpp"
+#include "core/ulba_model.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::core {
+namespace {
+
+using ulba::testing::paper_scale_params;
+using ulba::testing::tiny_params;
+
+TEST(Schedule, ValidConstructionAndAccessors) {
+  const Schedule s(20, {5, 11, 17});
+  EXPECT_EQ(s.gamma(), 20);
+  EXPECT_EQ(s.lb_count(), 3u);
+  EXPECT_EQ(s.boundaries(), (std::vector<std::int64_t>{0, 5, 11, 17, 20}));
+}
+
+TEST(Schedule, RejectsOutOfRangeAndUnsortedSteps) {
+  EXPECT_THROW(Schedule(10, {0}), std::invalid_argument);   // 0 is implicit
+  EXPECT_THROW(Schedule(10, {10}), std::invalid_argument);  // beyond horizon
+  EXPECT_THROW(Schedule(10, {3, 3}), std::invalid_argument);
+  EXPECT_THROW(Schedule(10, {5, 4}), std::invalid_argument);
+  EXPECT_THROW(Schedule(0, {}), std::invalid_argument);
+}
+
+TEST(Schedule, MaskRoundTrip) {
+  const Schedule s(8, {2, 5});
+  const auto mask = s.to_mask();
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{0, 0, 1, 0, 0, 1, 0, 0}));
+  EXPECT_EQ(Schedule::from_mask(mask), s);
+}
+
+TEST(Schedule, FromMaskIgnoresIterationZero) {
+  const std::vector<std::uint8_t> mask{1, 0, 1, 0};
+  const Schedule s = Schedule::from_mask(mask);
+  EXPECT_EQ(s.steps(), (std::vector<std::int64_t>{2}));
+}
+
+TEST(Schedule, ToStringMentionsSteps) {
+  const Schedule s(10, {3, 7});
+  EXPECT_NE(s.to_string().find("{3, 7}"), std::string::npos);
+}
+
+TEST(EvaluateStandard, NoLbIsOneLongInterval) {
+  const ModelParams p = tiny_params();
+  const auto cost = evaluate_standard(p, Schedule::empty(p.gamma));
+  EXPECT_EQ(cost.lb_count, 0u);
+  EXPECT_DOUBLE_EQ(cost.lb_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(cost.total_seconds,
+                   standard_interval_compute_time(p, 0, p.gamma));
+}
+
+TEST(EvaluateStandard, IntervalsAndCostsAddUp) {
+  const ModelParams p = tiny_params();
+  const Schedule s(p.gamma, {8, 15});
+  const auto cost = evaluate_standard(p, s);
+  const double expect = standard_interval_compute_time(p, 0, 8) +
+                        standard_interval_compute_time(p, 8, 15) +
+                        standard_interval_compute_time(p, 15, 20) +
+                        2.0 * p.lb_cost;
+  EXPECT_NEAR(cost.total_seconds, expect, 1e-9);
+  EXPECT_EQ(cost.lb_count, 2u);
+  EXPECT_DOUBLE_EQ(cost.lb_seconds, 100.0);
+}
+
+TEST(EvaluateUlba, FirstIntervalUsesStandardShape) {
+  // Balanced start: with one LB step, only the second interval gets the ULBA
+  // shape.
+  const ModelParams p = tiny_params();
+  const Schedule s(p.gamma, {10});
+  const auto cost = evaluate_ulba(p, s);
+  const double expect = standard_interval_compute_time(p, 0, 10) +
+                        ulba_interval_compute_time(p, 10, 20, p.alpha) +
+                        p.lb_cost;
+  EXPECT_NEAR(cost.total_seconds, expect, 1e-9);
+}
+
+TEST(EvaluateUlba, AlphaZeroEqualsStandardEverywhere) {
+  ModelParams p = paper_scale_params();
+  p.alpha = 0.0;
+  for (const Schedule& s :
+       {Schedule::empty(p.gamma), Schedule(p.gamma, {30}),
+        Schedule(p.gamma, {20, 40, 60, 80})}) {
+    EXPECT_DOUBLE_EQ(evaluate_ulba(p, s).total_seconds,
+                     evaluate_standard(p, s).total_seconds);
+  }
+}
+
+TEST(EvaluateUlba, PerStepAlphasMatchConstantWhenEqual) {
+  const ModelParams p = paper_scale_params();
+  const Schedule s(p.gamma, {25, 50, 75});
+  const std::vector<double> alphas(3, p.alpha);
+  EXPECT_DOUBLE_EQ(evaluate_ulba_per_step(p, s, alphas).total_seconds,
+                   evaluate_ulba(p, s).total_seconds);
+}
+
+TEST(EvaluateUlba, PerStepAlphasRequireOnePerStep) {
+  const ModelParams p = paper_scale_params();
+  const Schedule s(p.gamma, {25, 50});
+  const std::vector<double> alphas(3, 0.5);
+  EXPECT_THROW((void)evaluate_ulba_per_step(p, s, alphas),
+               std::invalid_argument);
+}
+
+TEST(EvaluateUlba, GammaMismatchRejected) {
+  const ModelParams p = tiny_params();
+  const Schedule s(p.gamma + 1, {5});
+  EXPECT_THROW((void)evaluate_ulba(p, s), std::invalid_argument);
+}
+
+TEST(Builders, PeriodicSchedule) {
+  const Schedule s = periodic_schedule(10, 3);
+  EXPECT_EQ(s.steps(), (std::vector<std::int64_t>{3, 6, 9}));
+  EXPECT_TRUE(periodic_schedule(10, 100).steps().empty());
+  EXPECT_THROW((void)periodic_schedule(10, 0), std::invalid_argument);
+}
+
+TEST(Builders, MenonScheduleUsesTauSpacing) {
+  const ModelParams p = paper_scale_params();
+  const auto period = std::max<std::int64_t>(1, std::llround(menon_tau(p)));
+  const Schedule s = menon_schedule(p);
+  ASSERT_FALSE(s.steps().empty());
+  EXPECT_EQ(s.steps().front(), period);
+  if (s.steps().size() >= 2) {
+    EXPECT_EQ(s.steps()[1] - s.steps()[0], period);
+  }
+}
+
+TEST(Builders, MenonScheduleEmptyWithoutGrowth) {
+  ModelParams p = paper_scale_params();
+  p.m = 0.0;
+  EXPECT_TRUE(menon_schedule(p).steps().empty());
+}
+
+TEST(Builders, SigmaPlusScheduleStepsAreSpacedBySigmaPlus) {
+  const ModelParams p = paper_scale_params();
+  const Schedule s = sigma_plus_schedule(p);
+  ASSERT_FALSE(s.steps().empty());
+  // First hop: from the balanced start (α_open = 0).
+  const auto first_hop = static_cast<std::int64_t>(
+      std::floor(sigma_plus(p, 0, 0.0, p.alpha)));
+  EXPECT_EQ(s.steps().front(), std::max<std::int64_t>(1, first_hop));
+  // Later hops: opened with α.
+  if (s.steps().size() >= 2) {
+    const std::int64_t from = s.steps()[0];
+    const auto hop = static_cast<std::int64_t>(
+        std::floor(sigma_plus(p, from, p.alpha, p.alpha)));
+    EXPECT_EQ(s.steps()[1] - from, std::max<std::int64_t>(1, hop));
+  }
+}
+
+TEST(Builders, SigmaPlusScheduleEqualsMenonWhenAlphaZero) {
+  ModelParams p = paper_scale_params();
+  p.alpha = 0.0;
+  const Schedule sp = sigma_plus_schedule(p);
+  // Spacing uses ⌊τ⌋ vs Menon's round(τ); allow both but require the same
+  // asymptotic count within one step.
+  const Schedule mn = menon_schedule(p);
+  EXPECT_NEAR(static_cast<double>(sp.lb_count()),
+              static_cast<double>(mn.lb_count()), 1.0 + 0.2 * static_cast<double>(mn.lb_count()));
+}
+
+TEST(Builders, SigmaPlusLbLessOftenThanMenonForSameAlphaModel) {
+  // ULBA's σ⁺ interval is longer than Menon's τ (overhead term + σ⁻ head
+  // start) ⇒ fewer LB calls over the same horizon.
+  const ModelParams p = paper_scale_params();
+  EXPECT_LE(sigma_plus_schedule(p).lb_count(), menon_schedule(p).lb_count());
+}
+
+TEST(ScheduleGain, UlbaWithSigmaPlusBeatsStandardWithMenonOnPaperScale) {
+  // The headline model-level claim (Figure 3): for a strongly imbalanced
+  // instance there is an α for which ULBA outperforms the standard method.
+  const ModelParams p = paper_scale_params();
+  const double t_std =
+      evaluate_standard(p, menon_schedule(p)).total_seconds;
+  double best_ulba = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= 100; ++i) {
+    ModelParams q = p;
+    q.alpha = static_cast<double>(i) / 100.0;
+    best_ulba = std::min(
+        best_ulba, evaluate_ulba(q, sigma_plus_schedule(q)).total_seconds);
+  }
+  EXPECT_LT(best_ulba, t_std);
+}
+
+}  // namespace
+}  // namespace ulba::core

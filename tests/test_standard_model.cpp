@@ -1,0 +1,103 @@
+// Eq. (2) and its interval closed form.
+#include "core/standard_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace ulba::core {
+namespace {
+
+using ulba::testing::paper_scale_params;
+using ulba::testing::tiny_params;
+
+TEST(StandardModel, IterationTimeEq2) {
+  const ModelParams p = tiny_params();  // ω = 1, share(0) = 100, m+a = 17
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 0, 1), 117.0);
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 0, 5), 185.0);
+}
+
+TEST(StandardModel, IterationTimeAfterLaterLb) {
+  const ModelParams p = tiny_params();
+  // LB at iteration 10: share = Wtot(10)/P = 1500/10 = 150.
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 10, 0), 150.0);
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 10, 2), 184.0);
+}
+
+TEST(StandardModel, IterationTimeScalesWithOmega) {
+  ModelParams p = tiny_params();
+  const double t1 = standard_iteration_time(p, 0, 3);
+  p.omega = 2.0;
+  EXPECT_DOUBLE_EQ(standard_iteration_time(p, 0, 3), t1 / 2.0);
+}
+
+TEST(StandardModel, RejectsNegativeOffset) {
+  EXPECT_THROW((void)standard_iteration_time(tiny_params(), 0, -1),
+               std::invalid_argument);
+}
+
+TEST(StandardModel, ClosedFormMatchesBruteForceSum) {
+  const ModelParams p = tiny_params();
+  for (std::int64_t from : {0, 3, 7}) {
+    for (std::int64_t to : {from + 1, from + 2, from + 9}) {
+      double brute = 0.0;
+      for (std::int64_t t = from; t < to; ++t)
+        brute += standard_iteration_time(p, from, t - from);
+      EXPECT_NEAR(standard_interval_compute_time(p, from, to), brute, 1e-9)
+          << "interval [" << from << ", " << to << ")";
+    }
+  }
+}
+
+TEST(StandardModel, ClosedFormMatchesBruteForcePaperScale) {
+  const ModelParams p = paper_scale_params();
+  double brute = 0.0;
+  for (std::int64_t t = 0; t < 100; ++t)
+    brute += standard_iteration_time(p, 0, t);
+  const double closed = standard_interval_compute_time(p, 0, 100);
+  EXPECT_NEAR(closed, brute, 1e-9 * brute);
+}
+
+TEST(StandardModel, EmptyIntervalRejected) {
+  EXPECT_THROW((void)standard_interval_compute_time(tiny_params(), 5, 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)standard_interval_compute_time(tiny_params(), 5, 4),
+               std::invalid_argument);
+}
+
+TEST(StandardModel, SingleIterationIntervalIsJustTheShare) {
+  const ModelParams p = tiny_params();
+  EXPECT_DOUBLE_EQ(standard_interval_compute_time(p, 0, 1), 100.0);
+}
+
+TEST(StandardModel, LaterLbMakesEveryIterationCostlier) {
+  const ModelParams p = tiny_params();
+  // Rebalancing later means a larger Wtot share — monotone in lb_prev.
+  for (std::int64_t t : {0, 1, 5}) {
+    EXPECT_LT(standard_iteration_time(p, 0, t),
+              standard_iteration_time(p, 5, t));
+  }
+}
+
+class StandardClosedFormSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(StandardClosedFormSweep, MatchesBruteForce) {
+  const auto [from, len] = GetParam();
+  const ModelParams p = paper_scale_params();
+  double brute = 0.0;
+  for (std::int64_t t = 0; t < len; ++t)
+    brute += standard_iteration_time(p, from, t);
+  EXPECT_NEAR(standard_interval_compute_time(p, from, from + len), brute,
+              1e-9 * std::max(1.0, brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Intervals, StandardClosedFormSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(0, 1, 17, 50),
+                       ::testing::Values<std::int64_t>(1, 2, 13, 49)));
+
+}  // namespace
+}  // namespace ulba::core

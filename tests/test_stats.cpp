@@ -1,0 +1,191 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ulba::support {
+namespace {
+
+TEST(Stats, MeanOfConstants) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+}
+
+TEST(Stats, MeanRejectsEmpty) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+}
+
+TEST(Stats, VarianceKnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // population variance 4 ⇒ sample variance 4·8/7
+  EXPECT_NEAR(variance(xs), 4.0 * 8.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev_population(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  (void)median(xs);
+  EXPECT_EQ(xs, (std::vector<double>{9.0, 1.0, 5.0}));
+}
+
+TEST(Stats, QuantileEndpointsAndMidpoint) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  // R type-7: q25 of {1,2,3,4} = 1.75
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileRejectsBadFraction) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, QuantileMonotoneInQ) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(-10.0, 10.0));
+  double prev = quantile(xs, 0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double cur = quantile(xs, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Stats, ZScoreBasics) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // mean 5, population stddev 2
+  EXPECT_NEAR(z_score(9.0, xs), 2.0, 1e-12);
+  EXPECT_NEAR(z_score(5.0, xs), 0.0, 1e-12);
+  EXPECT_NEAR(z_score(1.0, xs), -2.0, 1e-12);
+}
+
+TEST(Stats, ZScoreDegenerateSampleIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(z_score(100.0, xs), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(OnlineStats, MatchesBatchOnRandomData) {
+  Rng rng(7);
+  std::vector<double> xs;
+  OnlineStats os;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-3.0, 8.0);
+    xs.push_back(v);
+    os.add(v);
+  }
+  EXPECT_NEAR(os.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(os.variance(), variance(xs), 1e-9);
+  EXPECT_DOUBLE_EQ(os.min(), min_of(xs));
+  EXPECT_DOUBLE_EQ(os.max(), max_of(xs));
+  EXPECT_EQ(os.count(), xs.size());
+}
+
+TEST(OnlineStats, EmptyIsSafe) {
+  const OnlineStats os;
+  EXPECT_EQ(os.count(), 0u);
+  EXPECT_DOUBLE_EQ(os.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(os.variance(), 0.0);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats os;
+  os.add(5.0);
+  os.reset();
+  EXPECT_EQ(os.count(), 0u);
+  EXPECT_DOUBLE_EQ(os.mean(), 0.0);
+}
+
+TEST(RollingWindow, MedianOverLastThree) {
+  RollingWindow w(3);
+  w.add(10.0);
+  EXPECT_DOUBLE_EQ(w.median(), 10.0);
+  w.add(20.0);
+  EXPECT_DOUBLE_EQ(w.median(), 15.0);
+  w.add(30.0);
+  EXPECT_DOUBLE_EQ(w.median(), 20.0);
+  w.add(100.0);  // evicts 10 → {20, 30, 100}
+  EXPECT_DOUBLE_EQ(w.median(), 30.0);
+  w.add(1.0);  // evicts 20 → {30, 100, 1}
+  EXPECT_DOUBLE_EQ(w.median(), 30.0);
+}
+
+TEST(RollingWindow, CapacityOneTracksLast) {
+  RollingWindow w(1);
+  w.add(1.0);
+  w.add(2.0);
+  w.add(3.0);
+  EXPECT_DOUBLE_EQ(w.median(), 3.0);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(RollingWindow, RejectsZeroCapacityAndEmptyMedian) {
+  EXPECT_THROW(RollingWindow w(0), std::invalid_argument);
+  RollingWindow w(3);
+  EXPECT_THROW((void)w.median(), std::invalid_argument);
+}
+
+TEST(RollingWindow, ClearEmpties) {
+  RollingWindow w(3);
+  w.add(1.0);
+  w.clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+// Property sweep: quantile(0) == min, quantile(1) == max, median between.
+class StatsPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertySweep, QuantileEnvelope) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  const int n = 1 + static_cast<int>(rng.index(200));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.uniform(-50.0, 50.0));
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), min_of(xs));
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), max_of(xs));
+  const double med = median(xs);
+  EXPECT_GE(med, min_of(xs));
+  EXPECT_LE(med, max_of(xs));
+}
+
+TEST_P(StatsPropertySweep, ZScoreOfMeanIsZero) {
+  Rng rng(GetParam() + 1000);
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.uniform(0.0, 10.0));
+  EXPECT_NEAR(z_score(mean(xs), xs), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertySweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ulba::support

@@ -1,0 +1,181 @@
+// Eq. (5)–(8): post-LB shares, σ⁻, the two-branch iteration time, and the
+// ULBA interval closed form.
+#include "core/ulba_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/standard_model.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::core {
+namespace {
+
+using ulba::testing::paper_scale_params;
+using ulba::testing::tiny_params;
+
+TEST(UlbaModel, PostLbSharesEq6) {
+  const ModelParams p = tiny_params();  // share(0) = 100, N=2, P−N=8
+  const PostLbShares s = post_lb_shares(p, 0, 0.5);
+  EXPECT_DOUBLE_EQ(s.overloading, 50.0);          // (1−α)·100
+  EXPECT_DOUBLE_EQ(s.non_overloading, 112.5);     // (1+0.5·2/8)·100
+}
+
+TEST(UlbaModel, SharesConserveTotalWorkload) {
+  // N·W* + (P−N)·W == Wtot — the red area equals the blue area in Figure 1.
+  for (double alpha : {0.1, 0.25, 0.5, 0.9, 1.0}) {
+    const ModelParams p = paper_scale_params();
+    const PostLbShares s = post_lb_shares(p, 7, alpha);
+    const double total = static_cast<double>(p.N) * s.overloading +
+                         static_cast<double>(p.P - p.N) * s.non_overloading;
+    EXPECT_NEAR(total, p.wtot(7), 1e-6 * p.wtot(7)) << "alpha = " << alpha;
+  }
+}
+
+TEST(UlbaModel, AlphaZeroSharesAreEven) {
+  const ModelParams p = tiny_params();
+  const PostLbShares s = post_lb_shares(p, 0, 0.0);
+  EXPECT_DOUBLE_EQ(s.overloading, 100.0);
+  EXPECT_DOUBLE_EQ(s.non_overloading, 100.0);
+}
+
+TEST(UlbaModel, SigmaMinusEq8HandChecked) {
+  const ModelParams p = tiny_params();
+  // σ⁻(0) = ⌊(1 + 2/8)·0.5·1000/(15·10)⌋ = ⌊1.25·500/150⌋ = ⌊4.1667⌋ = 4
+  EXPECT_EQ(sigma_minus(p, 0, 0.5), 4);
+}
+
+TEST(UlbaModel, SigmaMinusZeroWhenAlphaZero) {
+  EXPECT_EQ(sigma_minus(tiny_params(), 0, 0.0), 0);
+}
+
+TEST(UlbaModel, SigmaMinusGrowsWithAlphaAndLbIteration) {
+  const ModelParams p = paper_scale_params();
+  EXPECT_LE(sigma_minus(p, 0, 0.2), sigma_minus(p, 0, 0.8));
+  EXPECT_LE(sigma_minus(p, 0, 0.5), sigma_minus(p, 50, 0.5));
+}
+
+TEST(UlbaModel, SigmaMinusIsTheCrossingPoint) {
+  // Defining property (Eq. (7)): at t = σ⁻ the overloading PEs have not yet
+  // passed the others; at t = σ⁻ + 1 they have (up to the floor).
+  const ModelParams p = paper_scale_params();
+  for (double alpha : {0.2, 0.5, 0.8}) {
+    const std::int64_t sm = sigma_minus(p, 0, alpha);
+    const PostLbShares s = post_lb_shares(p, 0, alpha);
+    const auto overload_load = [&](std::int64_t t) {
+      return s.overloading + (p.m + p.a) * static_cast<double>(t);
+    };
+    const auto other_load = [&](std::int64_t t) {
+      return s.non_overloading + p.a * static_cast<double>(t);
+    };
+    EXPECT_LE(overload_load(sm), other_load(sm) + 1e-6 * other_load(sm));
+    EXPECT_GE(overload_load(sm + 1), other_load(sm + 1) * (1.0 - 1e-12));
+  }
+}
+
+TEST(UlbaModel, SigmaMinusInfiniteWhenNoGrowth) {
+  ModelParams p = tiny_params();
+  p.m = 0.0;
+  EXPECT_GT(sigma_minus(p, 0, 0.5), std::int64_t{1} << 40);
+}
+
+TEST(UlbaModel, IterationTimeBranches) {
+  const ModelParams p = tiny_params();  // σ⁻(0, α=0.5) = 4
+  // Branch 1 (t ≤ 4): non-overloading share 112.5 growing at a = 2.
+  EXPECT_DOUBLE_EQ(ulba_iteration_time(p, 0, 0, 0.5), 112.5);
+  EXPECT_DOUBLE_EQ(ulba_iteration_time(p, 0, 4, 0.5), 120.5);
+  // Branch 2 (t > 4): overloading share 50 growing at m+a = 17.
+  EXPECT_DOUBLE_EQ(ulba_iteration_time(p, 0, 5, 0.5), 135.0);
+  EXPECT_DOUBLE_EQ(ulba_iteration_time(p, 0, 10, 0.5), 220.0);
+}
+
+TEST(UlbaModel, AlphaZeroReducesToStandardModel) {
+  const ModelParams p = paper_scale_params();
+  for (std::int64_t t : {0, 1, 10, 60}) {
+    EXPECT_DOUBLE_EQ(ulba_iteration_time(p, 5, t, 0.0),
+                     standard_iteration_time(p, 5, t));
+  }
+  EXPECT_DOUBLE_EQ(ulba_interval_compute_time(p, 0, 80, 0.0),
+                   standard_interval_compute_time(p, 0, 80));
+}
+
+TEST(UlbaModel, RightAfterLbUlbaIterationIsCostlierThanStandard) {
+  // The underloading overhead: at t = 0 the non-overloading PEs carry more
+  // than the even share, so the first iterations are slower than standard's.
+  const ModelParams p = paper_scale_params();
+  EXPECT_GT(ulba_iteration_time(p, 0, 0, 0.5),
+            standard_iteration_time(p, 0, 0));
+}
+
+TEST(UlbaModel, LateIterationsAreCheaperThanStandard) {
+  // …but past σ⁻ the overloading PEs restart from (1−α) of the share, so
+  // late iterations of a long interval are cheaper than standard's.
+  const ModelParams p = paper_scale_params();
+  const std::int64_t sm = sigma_minus(p, 0, 0.5);
+  const std::int64_t late = sm + 20;
+  EXPECT_LT(ulba_iteration_time(p, 0, late, 0.5),
+            standard_iteration_time(p, 0, late));
+}
+
+TEST(UlbaModel, ClosedFormMatchesBruteForce) {
+  const ModelParams p = tiny_params();
+  for (double alpha : {0.0, 0.3, 0.5, 1.0}) {
+    for (std::int64_t from : {0, 2}) {
+      for (std::int64_t len : {1, 3, 4, 5, 6, 15}) {
+        double brute = 0.0;
+        for (std::int64_t t = 0; t < len; ++t)
+          brute += ulba_iteration_time(p, from, t, alpha);
+        EXPECT_NEAR(ulba_interval_compute_time(p, from, from + len, alpha),
+                    brute, 1e-9 * std::max(1.0, brute))
+            << "alpha=" << alpha << " from=" << from << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(UlbaModel, ClosedFormCoversIntervalShorterThanSigmaMinus) {
+  // When the interval ends before σ⁻ only branch 1 contributes.
+  const ModelParams p = tiny_params();  // σ⁻ = 4 at α = 0.5
+  double brute = 0.0;
+  for (std::int64_t t = 0; t < 3; ++t)
+    brute += ulba_iteration_time(p, 0, t, 0.5);
+  EXPECT_NEAR(ulba_interval_compute_time(p, 0, 3, 0.5), brute, 1e-9);
+}
+
+TEST(UlbaModel, NoGrowthIntervalStaysInBranchOne) {
+  ModelParams p = tiny_params();
+  p.m = 0.0;  // nobody overloads; σ⁻ = ∞
+  double brute = 0.0;
+  for (std::int64_t t = 0; t < 10; ++t)
+    brute += ulba_iteration_time(p, 0, t, 0.5);
+  EXPECT_NEAR(ulba_interval_compute_time(p, 0, 10, 0.5), brute, 1e-9);
+}
+
+TEST(UlbaModel, UnderloadingRequiresSomeoneToAbsorb) {
+  ModelParams p = tiny_params();
+  p.N = 0;
+  EXPECT_THROW((void)post_lb_shares(p, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)sigma_minus(p, 0, 0.5), std::invalid_argument);
+}
+
+class UlbaClosedFormSweep
+    : public ::testing::TestWithParam<std::tuple<double, std::int64_t>> {};
+
+TEST_P(UlbaClosedFormSweep, MatchesBruteForcePaperScale) {
+  const auto [alpha, len] = GetParam();
+  const ModelParams p = paper_scale_params();
+  double brute = 0.0;
+  for (std::int64_t t = 0; t < len; ++t)
+    brute += ulba_iteration_time(p, 11, t, alpha);
+  EXPECT_NEAR(ulba_interval_compute_time(p, 11, 11 + len, alpha), brute,
+              1e-9 * std::max(1.0, brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaLength, UlbaClosedFormSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.4, 0.7, 1.0),
+                       ::testing::Values<std::int64_t>(1, 5, 23, 89)));
+
+}  // namespace
+}  // namespace ulba::core
