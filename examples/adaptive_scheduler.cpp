@@ -19,6 +19,8 @@
 // workload, and compare.
 //
 //   ./adaptive_scheduler
+//
+// The flag-driven erosion counterpart of this machinery: `ulba_cli erosion`.
 #include <chrono>
 #include <cmath>
 #include <cstdio>

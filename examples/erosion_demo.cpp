@@ -4,6 +4,8 @@
 // erosion dynamics, different balancing.
 //
 //   ./erosion_demo [pe_count] [strong_rocks] [seed]
+//
+// Configurable version: `ulba_cli erosion` (flag-driven domain + alpha).
 #include <cstdio>
 #include <cstdlib>
 #include <vector>

@@ -4,6 +4,8 @@
 // workload deltas, gossip over real messages.
 //
 //   ./erosion_mt [pe_count] [strong_rocks] [seed]
+//
+// Configurable version: `ulba_cli erosion --mt`.
 #include <cstdio>
 #include <cstdlib>
 

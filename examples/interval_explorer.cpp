@@ -2,6 +2,8 @@
 // time — with the exact DP optimum as the reference line.
 //
 //   ./interval_explorer
+//
+// Configurable version: `ulba_cli intervals` (Table-I flags, sweep depth).
 #include <cstdio>
 #include <string>
 

@@ -6,6 +6,8 @@
 // 100-iteration run — the smallest possible version of the paper's Figure 3.
 //
 //   ./quickstart
+//
+// Configurable version: `ulba_cli quickstart` (same scenario, Table-I flags).
 #include <cstdio>
 
 #include "core/intervals.hpp"

@@ -1,0 +1,157 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "cli/args.hpp"
+#include "cli/scenarios.hpp"
+#include "support/require.hpp"
+
+namespace ulba::cli {
+
+namespace {
+
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  /// Switch flags (no value) the subcommand accepts, besides --help.
+  std::set<std::string> switches;
+  std::function<int(const FlagMap&, std::ostream&)> scenario;
+  std::function<std::string()> help_body;
+};
+
+std::string quickstart_help() {
+  return "Evaluate the analytic model once: Menon tau, ULBA [sigma-, "
+         "sigma+],\nand total time standard-vs-ULBA (mini Figure 3).\n\n" +
+         model_param_help(quickstart_defaults());
+}
+
+std::string erosion_help() {
+  return "Run the paper's erosion application (SectionIV-B) under the "
+         "standard\nLB method and under ULBA, same seed, and compare.\n\n"
+         "options:\n"
+         "  --mt                   run on real OS threads (measured wall "
+         "clock)\n"
+         "                         instead of the virtual-time BSP machine\n"
+         "  --pes <int>            processing elements   [32; 8 with --mt]\n"
+         "  --strong <int>         strongly erodible rocks [1]\n"
+         "  --seed <int>           placement seed          [11]\n"
+         "  --iterations <int>     iterations              [180; 80 with "
+         "--mt]\n"
+         "  --alpha <0..1>         ULBA fraction           [0.4]\n"
+         "  --columns-per-pe <int> stripe width            [256; 96 with "
+         "--mt]\n"
+         "  --rows <int>           domain height           [384; 96 with "
+         "--mt]\n"
+         "  --rock-radius <int>    disc radius             [96; 24 with "
+         "--mt]\n";
+}
+
+std::string intervals_help() {
+  return "Sweep alpha and report sigma-/sigma+/schedule/total time, with "
+         "the\nexact DP optimum as the reference line.\n\n"
+         "options:\n"
+         "  --alpha-steps <int>  sweep resolution (alpha = i/steps) [10]\n"
+         "  --dp off             skip the O(gamma^2) DP reference\n\n" +
+         model_param_help(intervals_defaults());
+}
+
+std::string alpha_tuning_help() {
+  return "Fine alpha sweep: best alpha for the model and the gain landscape\n"
+         "vs. the standard method (analytic Figure-5 counterpart).\n\n"
+         "options:\n"
+         "  --alpha-min <0..1>   sweep start [0.05]\n"
+         "  --alpha-max <0..1>   sweep end   [1.0]\n"
+         "  --alpha-step <r>     sweep step  [0.05]\n\n" +
+         model_param_help(quickstart_defaults());
+}
+
+const std::vector<Subcommand>& registry() {
+  static const std::vector<Subcommand> kSubcommands{
+      {"quickstart",
+       "analytic model in a nutshell: tau vs. [sigma-, sigma+] and the gain",
+       {},
+       run_quickstart,
+       quickstart_help},
+      {"erosion",
+       "the erosion application, standard vs. ULBA (--mt: real threads)",
+       {"mt"},
+       run_erosion,
+       erosion_help},
+      {"intervals",
+       "alpha sweep of sigma-/sigma+/schedules with the DP optimum",
+       {},
+       run_intervals,
+       intervals_help},
+      {"alpha-tuning",
+       "fine alpha sweep: best alpha and the gain landscape",
+       {},
+       run_alpha_tuning,
+       alpha_tuning_help},
+  };
+  return kSubcommands;
+}
+
+const Subcommand& find_subcommand(const std::string& name) {
+  for (const auto& sub : registry())
+    if (name == sub.name) return sub;
+  support::throw_requirement("known subcommand", __FILE__, __LINE__,
+                             "unknown subcommand '" + name +
+                                 "' (run `ulba_cli help` for the list)");
+}
+
+}  // namespace
+
+std::string usage() {
+  std::ostringstream os;
+  os << "ulba_cli — unified scenario driver for the ULBA reproduction\n"
+     << "(Boulmier et al., \"On the Benefits of Anticipating Load "
+        "Imbalance\", CLUSTER 2019)\n\n"
+     << "usage: ulba_cli <subcommand> [--flag value | --flag=value]...\n\n"
+     << "subcommands:\n";
+  std::size_t width = std::string("help").size();
+  for (const auto& sub : registry())
+    width = std::max(width, std::string(sub.name).size());
+  for (const auto& sub : registry())
+    os << "  " << sub.name
+       << std::string(width + 2 - std::string(sub.name).size(), ' ')
+       << sub.summary << "\n";
+  os << "  help" << std::string(width - 2, ' ') << "this text\n\n"
+     << "`ulba_cli <subcommand> --help` documents the subcommand's flags.\n";
+  return os.str();
+}
+
+std::string subcommand_help(const std::string& command) {
+  const Subcommand& sub = find_subcommand(command);
+  std::ostringstream os;
+  os << "usage: ulba_cli " << sub.name << " [options]\n\n" << sub.help_body();
+  return os.str();
+}
+
+std::vector<std::string> subcommand_names() {
+  std::vector<std::string> names;
+  for (const auto& sub : registry()) names.emplace_back(sub.name);
+  return names;
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help" ||
+      args[0] == "-h") {
+    out << usage();
+    return args.empty() ? 2 : 0;
+  }
+  const Subcommand& sub = find_subcommand(args[0]);
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  for (const auto& token : rest) {
+    if (token == "--help" || token == "-h") {
+      out << subcommand_help(sub.name);
+      return 0;
+    }
+  }
+  const FlagMap flags(rest, sub.switches);
+  return sub.scenario(flags, out);
+}
+
+}  // namespace ulba::cli

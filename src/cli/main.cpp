@@ -1,0 +1,23 @@
+// Thin adapter from argv to ulba::cli::run().  Usage errors (ULBA_REQUIRE
+// throws std::invalid_argument) exit with code 2 and a hint; internal
+// invariant failures (std::logic_error) exit with code 3.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return ulba::cli::run(args, std::cout);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "ulba_cli: " << e.what() << "\n"
+              << "run `ulba_cli help` for usage.\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "ulba_cli: internal error: " << e.what() << "\n";
+    return 3;
+  }
+}

@@ -1,0 +1,307 @@
+#include "cli/scenarios.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/intervals.hpp"
+#include "core/schedule.hpp"
+#include "erosion/app.hpp"
+#include "erosion/threaded_app.hpp"
+#include "opt/dp_optimal.hpp"
+#include "support/require.hpp"
+#include "support/table.hpp"
+#include "support/text_plot.hpp"
+
+namespace ulba::cli {
+
+namespace {
+
+/// Union of the shared ModelParams flags and `extra`.
+std::set<std::string> with_model_flags(std::set<std::string> extra) {
+  const auto& shared = model_param_flags();
+  extra.insert(shared.begin(), shared.end());
+  return extra;
+}
+
+/// One-line timeline of a schedule: '|' = LB step, '.' = plain iteration.
+std::string timeline(const core::Schedule& s) {
+  std::string line(static_cast<std::size_t>(s.gamma()), '.');
+  for (auto step : s.steps()) line[static_cast<std::size_t>(step)] = '|';
+  return line;
+}
+
+}  // namespace
+
+core::ModelParams quickstart_defaults() {
+  core::ModelParams p;
+  p.P = 512;
+  p.N = 32;
+  p.gamma = 100;
+  p.omega = 1e9;
+  p.w0 = 3e9 * static_cast<double>(p.P);
+  p.a = 6e4;
+  p.m = 3e7;
+  p.alpha = 0.5;
+  p.lb_cost = 1.5;
+  return p;
+}
+
+core::ModelParams intervals_defaults() {
+  core::ModelParams p;
+  p.P = 1024;
+  p.N = 48;
+  p.gamma = 100;
+  p.omega = 1e9;
+  p.w0 = 4e9 * static_cast<double>(p.P);
+  p.a = 1e5;
+  p.m = 2e7;
+  p.lb_cost = 2.0;
+  p.alpha = 0.0;
+  return p;
+}
+
+int run_quickstart(const FlagMap& flags, std::ostream& out) {
+  flags.require_known(with_model_flags({}));
+  const core::ModelParams p =
+      parse_model_params(flags, quickstart_defaults());
+
+  out << "Application: P=" << p.P << " PEs, N=" << p.N
+      << " overloading, gamma=" << p.gamma << "\n"
+      << "  dW = " << p.delta_w() << " FLOP/iter, m_hat = " << p.m_hat()
+      << ", a_hat = " << p.a_hat() << "\n\n";
+
+  out << "Menon tau (standard method)   : every " << core::menon_tau(p)
+      << " iterations\n";
+  const core::IntervalBounds b =
+      core::interval_bounds(p, 0, p.alpha, p.alpha);
+  out << "ULBA sigma- (no degradation)  : " << b.lower << " iterations\n"
+      << "ULBA sigma+ (recommended)     : " << b.upper << " iterations\n\n";
+
+  const core::ScheduleCost t_std =
+      core::evaluate_standard(p, core::menon_schedule(p));
+  const core::ScheduleCost t_ulba =
+      core::evaluate_ulba(p, core::sigma_plus_schedule(p));
+  out << "standard method  : " << t_std.total_seconds << " s  ("
+      << t_std.lb_count << " LB calls)\n"
+      << "ULBA, alpha=" << p.alpha << ": " << t_ulba.total_seconds << " s  ("
+      << t_ulba.lb_count << " LB calls)\n"
+      << "anticipation gain: "
+      << (t_std.total_seconds - t_ulba.total_seconds) / t_std.total_seconds *
+             100.0
+      << " %\n";
+  return 0;
+}
+
+int run_erosion(const FlagMap& flags, std::ostream& out) {
+  flags.require_known({"mt", "pes", "strong", "seed", "iterations", "alpha",
+                       "columns-per-pe", "rows", "rock-radius"});
+  const bool mt = flags.has("mt");
+  const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
+  const std::int64_t strong = flags.get_int("strong", 1);
+  const std::uint64_t seed = flags.get_seed("seed", 11);
+  const double alpha = flags.get_double("alpha", 0.4);
+  ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
+  ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
+               "--strong must be in [1, pes]");
+  ULBA_REQUIRE(alpha > 0.0 && alpha <= 1.0, "--alpha must be in (0, 1]");
+
+  if (mt) {
+    erosion::ThreadedConfig cfg;
+    cfg.pe_count = pe_count;
+    cfg.strong_rock_count = strong;
+    cfg.seed = seed;
+    cfg.alpha = alpha;
+    cfg.columns_per_pe = flags.get_int("columns-per-pe", 96);
+    cfg.rows = flags.get_int("rows", 96);
+    cfg.rock_radius = flags.get_int("rock-radius", 24);
+    cfg.iterations = flags.get_int("iterations", 80);
+    cfg.validate();
+
+    out << "Threaded erosion: " << cfg.pe_count << " ranks (OS threads), "
+        << cfg.strong_rock_count << " strong rock(s), " << cfg.iterations
+        << " iterations\n\n";
+    cfg.method = erosion::Method::kStandard;
+    const erosion::ThreadedRunResult std_run = erosion::run_threaded(cfg);
+    cfg.method = erosion::Method::kUlba;
+    const erosion::ThreadedRunResult ulba_run = erosion::run_threaded(cfg);
+
+    const auto report = [&out](const char* name,
+                               const erosion::ThreadedRunResult& r) {
+      out << name << "\n"
+          << "  wall clock       : " << r.wall_seconds << " s (measured)\n"
+          << "  LB calls         : " << r.lb_count << "\n"
+          << "  mean utilization : " << r.mean_utilization * 100.0 << " %\n"
+          << "  iteration times  : "
+          << support::sparkline(r.iteration_seconds) << "\n\n";
+    };
+    report("standard LB method:", std_run);
+    report("ULBA:", ulba_run);
+    out << "==> ULBA gain: "
+        << (std_run.wall_seconds - ulba_run.wall_seconds) /
+               std_run.wall_seconds * 100.0
+        << " % measured wall clock (same dynamics: " << std_run.eroded_cells
+        << " == " << ulba_run.eroded_cells << " cells eroded)\n"
+        << "(wall-clock noise is real; re-run for another sample)\n";
+    return 0;
+  }
+
+  erosion::AppConfig cfg;
+  cfg.pe_count = pe_count;
+  cfg.strong_rock_count = strong;
+  cfg.seed = seed;
+  cfg.alpha = alpha;
+  cfg.columns_per_pe = flags.get_int("columns-per-pe", 256);
+  cfg.rows = flags.get_int("rows", 384);
+  cfg.rock_radius = flags.get_int("rock-radius", 96);
+  cfg.iterations = flags.get_int("iterations", 180);
+  cfg.bytes_per_cell = 256.0;
+  cfg.comm.latency_s = 1e-4;
+  cfg.comm.bandwidth_Bps = 2e9;
+  cfg.validate();
+
+  out << "Erosion demo: " << cfg.pe_count << " PEs, "
+      << cfg.strong_rock_count << " strongly erodible rock(s), seed "
+      << cfg.seed << "\n"
+      << "(domain " << cfg.columns() << "x" << cfg.rows
+      << " cells, rock radius " << cfg.rock_radius << ", alpha = "
+      << cfg.alpha << ")\n\n";
+
+  cfg.method = erosion::Method::kStandard;
+  const erosion::RunResult std_run = erosion::ErosionApp(cfg).run();
+  cfg.method = erosion::Method::kUlba;
+  const erosion::RunResult ulba_run = erosion::ErosionApp(cfg).run();
+
+  const auto report = [&out](const char* name, const erosion::RunResult& r) {
+    out << name << "\n"
+        << "  total time      : " << r.total_seconds
+        << " virtual s (compute " << r.compute_seconds << " + LB "
+        << r.lb_seconds << ")\n"
+        << "  LB calls        : " << r.lb_count << "\n"
+        << "  avg utilization : " << r.average_utilization * 100.0 << " %\n";
+    std::vector<double> util;
+    util.reserve(r.iterations.size());
+    for (const auto& rec : r.iterations) util.push_back(rec.utilization);
+    out << "  utilization     : " << support::sparkline(util) << "\n\n";
+  };
+  report("standard LB method (adaptive trigger of Zhai et al.):", std_run);
+  report("ULBA (anticipatory underloading):", ulba_run);
+
+  out << "==> ULBA gain: "
+      << (std_run.total_seconds - ulba_run.total_seconds) /
+             std_run.total_seconds * 100.0
+      << " % wall clock, "
+      << (ulba_run.average_utilization - std_run.average_utilization) * 100.0
+      << " pp utilization, " << std_run.lb_count - ulba_run.lb_count
+      << " fewer LB calls\n";
+  return 0;
+}
+
+int run_intervals(const FlagMap& flags, std::ostream& out) {
+  flags.require_known(with_model_flags({"alpha-steps", "dp"}));
+  const core::ModelParams p =
+      parse_model_params(flags, intervals_defaults());
+  const std::int64_t steps = flags.get_int("alpha-steps", 10);
+  ULBA_REQUIRE(steps >= 1 && steps <= 1000,
+               "--alpha-steps must be in [1, 1000]");
+  const std::string dp = flags.get_string("dp", "on");
+  ULBA_REQUIRE(dp == "on" || dp == "off", "--dp expects 'on' or 'off'");
+
+  out << "Model: P=" << p.P << ", N=" << p.N << ", gamma=" << p.gamma
+      << ", C=" << p.lb_cost << "s, tau_Menon=" << core::menon_tau(p)
+      << "\n\n";
+
+  support::Table table({"alpha", "sigma-", "sigma+", "LB calls",
+                        "T total [s]", "vs standard"});
+  const double t_std =
+      core::evaluate_standard(p, core::menon_schedule(p)).total_seconds;
+
+  double best_alpha = 0.0, best_time = t_std;
+  for (std::int64_t i = 0; i <= steps; ++i) {
+    core::ModelParams q = p;
+    q.alpha = static_cast<double>(i) / static_cast<double>(steps);
+    const auto bounds = core::interval_bounds(q, 0, q.alpha, q.alpha);
+    const auto schedule = core::sigma_plus_schedule(q);
+    const double t = core::evaluate_ulba(q, schedule).total_seconds;
+    if (t < best_time) {
+      best_time = t;
+      best_alpha = q.alpha;
+    }
+    table.add_row({support::Table::num(q.alpha, 2),
+                   std::to_string(bounds.lower),
+                   support::Table::num(bounds.upper, 1),
+                   std::to_string(schedule.lb_count()),
+                   support::Table::num(t, 2),
+                   support::Table::pct((t_std - t) / t_std, 2)});
+  }
+  out << table.render(2) << "\n";
+
+  core::ModelParams q = p;
+  q.alpha = best_alpha;
+  const auto sigma_sched = core::sigma_plus_schedule(q);
+  out << "best alpha = " << best_alpha << "\n"
+      << "  sigma+ schedule  " << timeline(sigma_sched) << "   ("
+      << core::evaluate_ulba(q, sigma_sched).total_seconds << " s)\n";
+  if (dp == "on") {
+    const auto dp = opt::optimal_schedule(q, opt::CostModel::kUlba);
+    out << "  DP optimum       " << timeline(dp.schedule) << "   ("
+        << dp.total_seconds << " s)\n";
+  }
+  out << "  standard (tau)   " << timeline(core::menon_schedule(p)) << "   ("
+      << t_std << " s)\n"
+      << "\n('|' marks an LB step along the " << p.gamma << " iterations)\n";
+  return 0;
+}
+
+int run_alpha_tuning(const FlagMap& flags, std::ostream& out) {
+  flags.require_known(
+      with_model_flags({"alpha-min", "alpha-max", "alpha-step"}));
+  const core::ModelParams base =
+      parse_model_params(flags, quickstart_defaults());
+  const double lo = flags.get_double("alpha-min", 0.05);
+  const double hi = flags.get_double("alpha-max", 1.0);
+  const double step = flags.get_double("alpha-step", 0.05);
+  ULBA_REQUIRE(lo > 0.0 && lo <= 1.0, "--alpha-min must be in (0, 1]");
+  ULBA_REQUIRE(hi >= lo && hi <= 1.0, "--alpha-max must be in [alpha-min, 1]");
+  ULBA_REQUIRE(step > 0.0, "--alpha-step must be positive");
+
+  out << "Alpha tuning: P=" << base.P << ", N=" << base.N
+      << ", gamma=" << base.gamma << ", C=" << base.lb_cost << "s\n"
+      << "(sweeping alpha in [" << lo << ", " << hi << "] by " << step
+      << "; sigma+ schedule per alpha, Eq. (4)/(5) evaluation)\n\n";
+
+  const double t_std =
+      core::evaluate_standard(base, core::menon_schedule(base)).total_seconds;
+
+  support::Table table({"alpha", "LB calls", "T total [s]", "gain"});
+  std::vector<double> gains;
+  std::vector<double> alphas;
+  double best_alpha = lo, best_time = std::numeric_limits<double>::infinity();
+  for (double a = lo; a <= hi + 1e-12; a += step) {
+    core::ModelParams q = base;
+    q.alpha = std::min(a, 1.0);
+    const auto schedule = core::sigma_plus_schedule(q);
+    const double t = core::evaluate_ulba(q, schedule).total_seconds;
+    const double gain = (t_std - t) / t_std;
+    if (t < best_time) {
+      best_time = t;
+      best_alpha = q.alpha;
+    }
+    alphas.push_back(q.alpha);
+    gains.push_back(gain * 100.0);
+    table.add_row({support::Table::num(q.alpha, 2),
+                   std::to_string(schedule.lb_count()),
+                   support::Table::num(t, 2), support::Table::pct(gain, 2)});
+  }
+  out << table.render(2) << "\n";
+  out << "gain vs alpha [%]: " << support::sparkline(gains) << "\n";
+  out << "best alpha = " << best_alpha << "  ("
+      << (t_std - best_time) / t_std * 100.0 << " % over standard, "
+      << t_std << " s -> " << best_time << " s)\n";
+  return 0;
+}
+
+}  // namespace ulba::cli

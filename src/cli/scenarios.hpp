@@ -1,0 +1,40 @@
+// The scenarios behind the `ulba_cli` subcommands.
+//
+// Each scenario takes its already-parsed FlagMap, writes its report to the
+// given stream, and returns a process exit code.  The `examples/` binaries
+// remain as minimal API walkthroughs; these functions are the configurable,
+// single-entry-point versions the ROADMAP's scenario growth builds on.
+#pragma once
+
+#include <ostream>
+
+#include "cli/args.hpp"
+
+namespace ulba::cli {
+
+/// Default ModelParams of `quickstart` and `alpha-tuning` (the quickstart's
+/// 512-PE application) — exposed so help texts render the real defaults.
+[[nodiscard]] core::ModelParams quickstart_defaults();
+
+/// Default ModelParams of `intervals` (the interval explorer's 1024-PE
+/// model, α = 0).
+[[nodiscard]] core::ModelParams intervals_defaults();
+
+/// `quickstart` — analytic model in a nutshell: Menon τ vs. ULBA [σ⁻, σ⁺]
+/// and the total-time comparison of the two methods (mini Figure 3).
+int run_quickstart(const FlagMap& flags, std::ostream& out);
+
+/// `erosion` — the §IV-B erosion application under the standard method and
+/// under ULBA; `--mt` switches from the virtual-time BSP simulation to the
+/// real-thread SPMD runtime with measured wall-clock times.
+int run_erosion(const FlagMap& flags, std::ostream& out);
+
+/// `intervals` — α sweep of σ⁻/σ⁺/schedule/total time with the exact DP
+/// optimum as the reference line (the interval-explorer scenario).
+int run_intervals(const FlagMap& flags, std::ostream& out);
+
+/// `alpha-tuning` — fine α sweep reporting the best α for the model and the
+/// gain landscape vs. the standard method (analytic Figure-5 counterpart).
+int run_alpha_tuning(const FlagMap& flags, std::ostream& out);
+
+}  // namespace ulba::cli

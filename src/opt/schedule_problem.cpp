@@ -31,7 +31,8 @@ double ScheduleProblem::energy(const State& s) const {
     case CostModel::kUlba:
       return core::evaluate_ulba(params_, sched).total_seconds;
   }
-  ULBA_CHECK(false, "unreachable cost model");
+  support::throw_invariant("valid cost model", __FILE__, __LINE__,
+                           "unreachable cost model");
 }
 
 ScheduleProblem::Move ScheduleProblem::propose(State& s,

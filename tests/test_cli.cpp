@@ -1,0 +1,197 @@
+// ulba_cli — flag parsing, subcommand dispatch, and usage errors.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "cli/args.hpp"
+
+namespace ulba::cli {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FlagMap grammar
+// ---------------------------------------------------------------------------
+TEST(FlagMap, ParsesSpaceAndEqualsForms) {
+  const FlagMap flags({"--P", "64", "--alpha=0.25"}, {});
+  EXPECT_EQ(flags.get_int("P", 0), 64);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.0), 0.25);
+}
+
+TEST(FlagMap, SwitchesTakeNoValue) {
+  const FlagMap flags({"--mt", "--pes", "4"}, {"mt"});
+  EXPECT_TRUE(flags.has("mt"));
+  EXPECT_EQ(flags.get_int("pes", 0), 4);
+}
+
+TEST(FlagMap, FallbacksApplyWhenAbsent) {
+  const FlagMap flags({}, {});
+  EXPECT_EQ(flags.get_int("P", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("alpha", 0.5), 0.5);
+  EXPECT_EQ(flags.get_string("partitioner", "rcb"), "rcb");
+  EXPECT_EQ(flags.get_seed("seed", 11u), 11u);
+}
+
+TEST(FlagMap, RejectsPositionalArguments) {
+  EXPECT_THROW(FlagMap({"512"}, {}), std::invalid_argument);
+}
+
+TEST(FlagMap, RejectsTrailingValuelessFlag) {
+  EXPECT_THROW(FlagMap({"--P"}, {}), std::invalid_argument);
+}
+
+TEST(FlagMap, RejectsMalformedNumbers) {
+  const FlagMap flags({"--P", "12abc", "--alpha", "zero"}, {});
+  EXPECT_THROW((void)flags.get_int("P", 0), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_double("alpha", 0.0), std::invalid_argument);
+}
+
+TEST(FlagMap, RejectsNegativeSeedAndOverflow) {
+  const FlagMap flags({"--seed", "-1", "--P", "99999999999999999999"}, {});
+  EXPECT_THROW((void)flags.get_seed("seed", 0u), std::invalid_argument);
+  EXPECT_THROW((void)flags.get_int("P", 0), std::invalid_argument);
+}
+
+TEST(FlagMap, RequireKnownRejectsStrangers) {
+  const FlagMap flags({"--P", "8", "--typo", "1"}, {});
+  EXPECT_THROW(flags.require_known({"P"}), std::invalid_argument);
+  EXPECT_NO_THROW(flags.require_known({"P", "typo"}));
+}
+
+// ---------------------------------------------------------------------------
+// Shared ModelParams parsing
+// ---------------------------------------------------------------------------
+TEST(ModelParamFlags, OverlayOntoDefaults) {
+  core::ModelParams defaults;
+  defaults.P = 512;
+  defaults.N = 32;
+  defaults.gamma = 100;
+  defaults.w0 = 1e12;
+  defaults.a = 1.0;
+  defaults.m = 2.0;
+  defaults.alpha = 0.5;
+  defaults.lb_cost = 1.0;
+  const FlagMap flags({"--P", "128", "--lb-cost", "2.5"}, {});
+  const core::ModelParams p = parse_model_params(flags, defaults);
+  EXPECT_EQ(p.P, 128);
+  EXPECT_DOUBLE_EQ(p.lb_cost, 2.5);
+  EXPECT_EQ(p.N, 32);          // untouched default survives
+  EXPECT_DOUBLE_EQ(p.alpha, 0.5);
+}
+
+TEST(ModelParamFlags, ValidationRejectsBadCombinations) {
+  core::ModelParams defaults;
+  defaults.P = 16;
+  defaults.N = 4;
+  defaults.gamma = 10;
+  defaults.w0 = 1e9;
+  defaults.alpha = 0.5;
+  defaults.lb_cost = 1.0;
+  // N ≥ P is out of domain — ModelParams::validate() must throw.
+  const FlagMap flags({"--N", "16"}, {});
+  EXPECT_THROW((void)parse_model_params(flags, defaults),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+TEST(Cli, NoArgumentsPrintsUsageAndFails) {
+  std::ostringstream out;
+  EXPECT_EQ(run({}, out), 2);
+  EXPECT_NE(out.str().find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpSubcommandSucceeds) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"help"}, out), 0);
+  for (const auto& name : subcommand_names())
+    EXPECT_NE(out.str().find(name), std::string::npos)
+        << "usage() must list " << name;
+}
+
+TEST(Cli, EverySubcommandHasHelp) {
+  for (const auto& name : subcommand_names()) {
+    std::ostringstream out;
+    EXPECT_EQ(run({name, "--help"}, out), 0) << name;
+    EXPECT_NE(out.str().find("usage: ulba_cli " + name), std::string::npos)
+        << name;
+  }
+}
+
+TEST(Cli, UnknownSubcommandThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"frobnicate"}, out), std::invalid_argument);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"quickstart", "--frobnicate", "1"}, out),
+               std::invalid_argument);
+}
+
+TEST(Cli, QuickstartDispatchesAndReports) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"quickstart", "--P", "64", "--N", "4", "--gamma", "50",
+                 "--w0", "1e11", "--a", "6e4", "--m", "3e7", "--alpha",
+                 "0.5", "--lb-cost", "1.0"},
+                out),
+            0);
+  EXPECT_NE(out.str().find("P=64"), std::string::npos);
+  EXPECT_NE(out.str().find("anticipation gain"), std::string::npos);
+}
+
+TEST(Cli, IntervalsDispatchesWithSmallSweep) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"intervals", "--gamma", "40", "--alpha-steps", "2", "--dp",
+                 "off"},
+                out),
+            0);
+  EXPECT_NE(out.str().find("sigma+"), std::string::npos);
+  EXPECT_NE(out.str().find("best alpha"), std::string::npos);
+}
+
+TEST(Cli, AlphaTuningDispatchesAndFindsBestAlpha) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"alpha-tuning", "--alpha-min", "0.2", "--alpha-max", "0.6",
+                 "--alpha-step", "0.2"},
+                out),
+            0);
+  EXPECT_NE(out.str().find("best alpha"), std::string::npos);
+}
+
+TEST(Cli, IntervalsRejectsMistypedDpValue) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"intervals", "--gamma", "40", "--dp", "Off"}, out),
+               std::invalid_argument);
+}
+
+TEST(Cli, AlphaTuningRejectsInvertedRange) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"alpha-tuning", "--alpha-min", "0.8", "--alpha-max",
+                    "0.2"},
+                   out),
+               std::invalid_argument);
+}
+
+TEST(Cli, ErosionDispatchesOnTinyDomain) {
+  std::ostringstream out;
+  EXPECT_EQ(run({"erosion", "--pes", "4", "--iterations", "12",
+                 "--columns-per-pe", "32", "--rows", "48", "--rock-radius",
+                 "12"},
+                out),
+            0);
+  EXPECT_NE(out.str().find("ULBA gain"), std::string::npos);
+  EXPECT_NE(out.str().find("LB calls"), std::string::npos);
+}
+
+TEST(Cli, ErosionRejectsOutOfDomainAlpha) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"erosion", "--alpha", "1.5"}, out),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ulba::cli
