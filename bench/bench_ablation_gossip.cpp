@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/gossip.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -20,31 +19,19 @@ int main() {
       "extends Boulmier et al. §III-C (one dissemination round per "
       "iteration)");
 
-  // Part 1: rounds until every PE knows every WIR, by fan-out and P.
-  std::printf("\nRounds to full knowledge (median of 20 trials):\n\n");
-  support::Table latency({"P", "fanout 1", "fanout 2", "fanout 4",
-                          "fanout 8", "~log2(P)"});
-  for (std::int64_t pe_count : {32, 64, 128, 256, 512}) {
-    std::vector<std::string> row{std::to_string(pe_count)};
-    for (std::int64_t fanout : {1, 2, 4, 8}) {
-      std::vector<double> rounds;
-      for (std::uint64_t trial = 0; trial < 10; ++trial) {
-        core::GossipNetwork net(pe_count, fanout);
-        for (std::int64_t pe = 0; pe < pe_count; ++pe)
-          net.observe_local(pe, 1.0, 0);
-        rounds.push_back(static_cast<double>(
-            net.rounds_to_full_knowledge(support::Rng(trial + 1))));
-      }
-      row.push_back(support::Table::num(support::median(rounds), 1));
-    }
-    row.push_back(support::Table::num(
-        std::log2(static_cast<double>(pe_count)), 1));
-    latency.add_row(row);
-  }
-  std::printf("%s\n", latency.render(2).c_str());
-
-  // Part 2: end-to-end erosion time under ULBA vs. gossip fan-out.
+  // Part 1: rounds until every PE knows every WIR, by fan-out and P — the
+  // same shared sweep `ulba_cli gossip` reports.
+  std::printf("\nRounds to full knowledge (median of 10 trials):\n\n");
+  const std::vector<std::int64_t> pe_counts{32, 64, 128, 256, 512};
   const std::vector<std::int64_t> fanouts{1, 2, 4, 8};
+  std::printf("%s\n",
+              bench::gossip_latency_table(pe_counts, fanouts, 10, 1)
+                  .render(2)
+                  .c_str());
+
+  // Part 2: end-to-end erosion time under ULBA vs. gossip fan-out. One flat
+  // parallel_map over the full fanout × seed product keeps every run
+  // concurrent on many-core machines.
   const std::vector<std::uint64_t> seeds{11, 22, 33};
   struct Case {
     std::int64_t fanout;

@@ -1,78 +1,24 @@
 // Shared helpers for the experiment harness binaries.
+//
+// The sweep machinery itself (parallel_map, the scaled erosion config, the
+// gossip/Table-II scenario sweeps) lives in src/cli/sweep.hpp so the
+// `ulba_cli` subcommands and these binaries drive one implementation; this
+// header only re-exports it under the historical ulba::bench names and adds
+// the printf-flavored header the binaries share.
 #pragma once
 
-#include <future>
+#include <cstdio>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "bsp/comm_model.hpp"
-#include "erosion/app.hpp"
+#include "cli/sweep.hpp"
 
 namespace ulba::bench {
 
-/// Run `fn(i)` for i in [0, n) across hardware threads; returns the results
-/// in index order. The experiment binaries use this to sweep seeds /
-/// configurations; each unit of work must be independent and seeded.
-template <typename Fn>
-auto parallel_map(std::size_t n, Fn&& fn)
-    -> std::vector<decltype(fn(std::size_t{0}))> {
-  using R = decltype(fn(std::size_t{0}));
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  std::vector<std::future<std::vector<std::pair<std::size_t, R>>>> futures;
-  const std::size_t chunk = (n + workers - 1) / workers;
-  for (std::size_t w = 0; w < workers && w * chunk < n; ++w) {
-    const std::size_t lo = w * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    futures.push_back(std::async(std::launch::async, [lo, hi, &fn] {
-      std::vector<std::pair<std::size_t, R>> part;
-      part.reserve(hi - lo);
-      for (std::size_t i = lo; i < hi; ++i) part.emplace_back(i, fn(i));
-      return part;
-    }));
-  }
-  std::vector<R> out(n);
-  for (auto& f : futures)
-    for (auto& [i, r] : f.get()) out[i] = std::move(r);
-  return out;
-}
-
-/// The scaled-down erosion configuration every Figure-4/5 binary shares.
-/// DESIGN.md §3 records the substitution: the geometry ratios (radius/rows =
-/// 1/4, one rock per stripe) match the paper; the absolute scale is reduced
-/// so a full sweep runs in seconds, and the α-β constants place the LB cost
-/// in Table II's C/iteration regime (~0.1–3).
-inline erosion::AppConfig scaled_app_config(std::int64_t pe_count,
-                                            std::int64_t strong_rocks,
-                                            erosion::Method method,
-                                            std::uint64_t seed) {
-  erosion::AppConfig c;
-  c.pe_count = pe_count;
-  c.columns_per_pe = 256;
-  c.rows = 384;
-  c.rock_radius = 96;
-  c.strong_rock_count = strong_rocks;
-  // The paper runs 400 iterations at radius 250 — erosion stays active for
-  // most of the run. Erosion lifetime scales with the rock radius, so the
-  // scaled domain's horizon shrinks proportionally.
-  c.iterations = 180;
-  c.method = method;
-  c.alpha = 0.4;  // the paper's Figure-4 value
-  c.seed = seed;
-  c.bytes_per_cell = 256.0;  // LBM-style cell state
-  // Calibration: with these constants one LB step (α gather + partition +
-  // boundary broadcast + migration) costs on the order of 0.3–3 iterations,
-  // i.e. Table II's z ∈ [0.1, 3] regime — the regime the paper's cluster
-  // experiments live in. A faster network makes LB nearly free, at which
-  // point *any* reactive balancer wins by just rebalancing constantly; a
-  // slower one makes migration (∝ drift since the last step) dominate and
-  // punishes long intervals beyond anything the paper's constant-C model
-  // describes.
-  c.comm.latency_s = 1e-4;
-  c.comm.bandwidth_Bps = 2e9;
-  return c;
-}
+using cli::erosion_median_over_seeds;
+using cli::gossip_latency_table;
+using cli::instance_family_stats;
+using cli::parallel_map;
+using cli::scaled_app_config;
 
 inline void print_header(const std::string& title, const std::string& paper) {
   std::string bar(78, '=');

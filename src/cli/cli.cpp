@@ -24,12 +24,16 @@ struct Subcommand {
 
 std::string quickstart_help() {
   return "Evaluate the analytic model once: Menon tau, ULBA [sigma-, "
-         "sigma+],\nand total time standard-vs-ULBA (mini Figure 3).\n\n" +
+         "sigma+],\nand total time standard-vs-ULBA (mini Figure 3), plus a "
+         "mini erosion run.\n\n"
+         "options:\n"
+         "  --threads <int>  host threads stepping the mini erosion run "
+         "[1]\n\n" +
          model_param_help(quickstart_defaults());
 }
 
 std::string erosion_help() {
-  return "Run the paper's erosion application (SectionIV-B) under the "
+  return "Run the paper's erosion application (Section IV-B) under the "
          "standard\nLB method and under ULBA, same seed, and compare.\n\n"
          "options:\n"
          "  --mt                   run on real OS threads (measured wall "
@@ -46,7 +50,11 @@ std::string erosion_help() {
          "  --rows <int>           domain height           [384; 96 with "
          "--mt]\n"
          "  --rock-radius <int>    disc radius             [96; 24 with "
-         "--mt]\n";
+         "--mt]\n"
+         "  --threads <int>        host threads stepping the dynamics "
+         "(per-disc\n"
+         "                         RNG substreams; not combinable with "
+         "--mt)  [1]\n";
 }
 
 std::string intervals_help() {
@@ -66,6 +74,31 @@ std::string alpha_tuning_help() {
          "  --alpha-max <0..1>   sweep end   [1.0]\n"
          "  --alpha-step <r>     sweep step  [0.05]\n\n" +
          model_param_help(quickstart_defaults());
+}
+
+std::string gossip_help() {
+  return "WIR-gossip ablation (Section III-C): dissemination latency per "
+         "fanout,\nend-to-end erosion degradation and detection lag vs. the "
+         "centralized\nzero-cost oracle, and the WIR-smoothing sweep.\n\n"
+         "options:\n"
+         "  --pes <int>         processing elements            [32]\n"
+         "  --strong <int>      strongly erodible rocks        [1]\n"
+         "  --seed <int>        base seed                      [11]\n"
+         "  --seeds <int>       seeds per configuration        [3]\n"
+         "  --iterations <int>  erosion iterations             [120]\n"
+         "  --alpha <0..1>      ULBA fraction                  [0.4]\n"
+         "  --trials <int>      latency-table trials           [10]\n";
+}
+
+std::string instances_help() {
+  return "Table-II-style sweep over the random-instance families (one per\n"
+         "pinned PE count): win/loss/gain statistics of ULBA vs. the "
+         "standard\nmethod, at the drawn alpha and at the per-instance best "
+         "alpha.\n\n"
+         "options:\n"
+         "  --samples <int>     instances per PE family        [200]\n"
+         "  --seed <int>        sampling seed                  [20190916]\n"
+         "  --alpha-grid <int>  best-alpha grid resolution     [20]\n";
 }
 
 const std::vector<Subcommand>& registry() {
@@ -90,6 +123,18 @@ const std::vector<Subcommand>& registry() {
        {},
        run_alpha_tuning,
        alpha_tuning_help},
+      {"gossip",
+       "WIR-gossip ablation: latency, fanout impact vs. the oracle, "
+       "smoothing",
+       {},
+       run_gossip,
+       gossip_help},
+      {"instances",
+       "Table-II instance families: ULBA win/loss/gain vs. the standard "
+       "method",
+       {},
+       run_instances,
+       instances_help},
   };
   return kSubcommands;
 }

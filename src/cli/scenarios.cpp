@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "cli/sweep.hpp"
+#include "core/instance.hpp"
 #include "core/intervals.hpp"
 #include "core/schedule.hpp"
 #include "erosion/app.hpp"
@@ -65,9 +67,12 @@ core::ModelParams intervals_defaults() {
 }
 
 int run_quickstart(const FlagMap& flags, std::ostream& out) {
-  flags.require_known(with_model_flags({}));
+  flags.require_known(with_model_flags({"threads"}));
   const core::ModelParams p =
       parse_model_params(flags, quickstart_defaults());
+  const std::int64_t threads = flags.get_int("threads", 1);
+  ULBA_REQUIRE(threads >= 1 && threads <= 256,
+               "--threads must be in [1, 256]");
 
   out << "Application: P=" << p.P << " PEs, N=" << p.N
       << " overloading, gamma=" << p.gamma << "\n"
@@ -93,21 +98,57 @@ int run_quickstart(const FlagMap& flags, std::ostream& out) {
       << (t_std.total_seconds - t_ulba.total_seconds) / t_std.total_seconds *
              100.0
       << " %\n";
+
+  // The model in practice: a miniature §IV-B erosion run (fixed seed 1, the
+  // shared Table-II comm calibration of scaled_app_config, geometry scaled
+  // down further), stepped on `--threads` host threads. --threads 1 is the
+  // classic shared-stream serial stepper; any N > 1 uses per-disc substreams
+  // and yields one identical virtual-time result for every such N (see
+  // AppConfig::threads).
+  erosion::AppConfig mini =
+      scaled_app_config(16, 1, erosion::Method::kStandard, 1);
+  mini.columns_per_pe = 64;
+  mini.rows = 96;
+  mini.rock_radius = 24;
+  mini.iterations = 120;
+  mini.alpha = p.alpha;
+  mini.threads = threads;
+  mini.validate();
+  mini.method = erosion::Method::kStandard;
+  const erosion::RunResult mini_std = erosion::ErosionApp(mini).run();
+  mini.method = erosion::Method::kUlba;
+  const erosion::RunResult mini_ulba = erosion::ErosionApp(mini).run();
+  out << "\nin practice (mini erosion run: 16 PEs, seed 1, " << threads
+      << " thread(s)):\n"
+      << "  standard : " << mini_std.total_seconds << " s  ("
+      << mini_std.lb_count << " LB calls)\n"
+      << "  ULBA     : " << mini_ulba.total_seconds << " s  ("
+      << mini_ulba.lb_count << " LB calls)\n"
+      << "  simulated gain: "
+      << (mini_std.total_seconds - mini_ulba.total_seconds) /
+             mini_std.total_seconds * 100.0
+      << " %\n";
   return 0;
 }
 
 int run_erosion(const FlagMap& flags, std::ostream& out) {
   flags.require_known({"mt", "pes", "strong", "seed", "iterations", "alpha",
-                       "columns-per-pe", "rows", "rock-radius"});
+                       "columns-per-pe", "rows", "rock-radius", "threads"});
   const bool mt = flags.has("mt");
   const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
   const std::int64_t strong = flags.get_int("strong", 1);
   const std::uint64_t seed = flags.get_seed("seed", 11);
   const double alpha = flags.get_double("alpha", 0.4);
+  const std::int64_t threads = flags.get_int("threads", 1);
   ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
   ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
                "--strong must be in [1, pes]");
   ULBA_REQUIRE(alpha > 0.0 && alpha <= 1.0, "--alpha must be in (0, 1]");
+  ULBA_REQUIRE(threads >= 1 && threads <= 256,
+               "--threads must be in [1, 256]");
+  ULBA_REQUIRE(!mt || !flags.has("threads"),
+               "--threads steps the virtual-time dynamics; --mt already runs "
+               "on real OS threads");
 
   if (mt) {
     erosion::ThreadedConfig cfg;
@@ -161,6 +202,7 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   cfg.bytes_per_cell = 256.0;
   cfg.comm.latency_s = 1e-4;
   cfg.comm.bandwidth_Bps = 2e9;
+  cfg.threads = threads;
   cfg.validate();
 
   out << "Erosion demo: " << cfg.pe_count << " PEs, "
@@ -168,7 +210,7 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
       << cfg.seed << "\n"
       << "(domain " << cfg.columns() << "x" << cfg.rows
       << " cells, rock radius " << cfg.rock_radius << ", alpha = "
-      << cfg.alpha << ")\n\n";
+      << cfg.alpha << ", " << cfg.threads << " stepping thread(s))\n\n";
 
   cfg.method = erosion::Method::kStandard;
   const erosion::RunResult std_run = erosion::ErosionApp(cfg).run();
@@ -301,6 +343,159 @@ int run_alpha_tuning(const FlagMap& flags, std::ostream& out) {
   out << "best alpha = " << best_alpha << "  ("
       << (t_std - best_time) / t_std * 100.0 << " % over standard, "
       << t_std << " s -> " << best_time << " s)\n";
+  return 0;
+}
+
+int run_gossip(const FlagMap& flags, std::ostream& out) {
+  flags.require_known(
+      {"pes", "strong", "seed", "seeds", "iterations", "alpha", "trials"});
+  const std::int64_t pes = flags.get_int("pes", 32);
+  const std::int64_t strong = flags.get_int("strong", 1);
+  const std::uint64_t seed = flags.get_seed("seed", 11);
+  const std::int64_t seed_count = flags.get_int("seeds", 3);
+  const std::int64_t iterations = flags.get_int("iterations", 120);
+  const double alpha = flags.get_double("alpha", 0.4);
+  const std::int64_t trials = flags.get_int("trials", 10);
+  // The latency table sweeps up to 4·pes PEs over O(P²)-memory gossip
+  // networks — cap the knob so misuse fails fast instead of OOMing.
+  ULBA_REQUIRE(pes >= 4 && pes <= 256, "--pes must be in [4, 256]");
+  ULBA_REQUIRE(strong >= 1 && strong <= pes, "--strong must be in [1, pes]");
+  ULBA_REQUIRE(seed_count >= 1 && seed_count <= 64,
+               "--seeds must be in [1, 64]");
+  ULBA_REQUIRE(iterations >= 8, "--iterations must be at least 8");
+  ULBA_REQUIRE(alpha > 0.0 && alpha <= 1.0, "--alpha must be in (0, 1]");
+  ULBA_REQUIRE(trials >= 1 && trials <= 1000, "--trials must be in [1, 1000]");
+
+  out << "WIR-gossip ablation (paper Section III-C: one dissemination round "
+         "per\niteration; the principle of persistence tolerates "
+         "staleness)\n\n";
+
+  // Part 1 — dissemination latency: rounds until every PE knows every WIR.
+  std::vector<std::int64_t> fanouts;
+  for (const std::int64_t f : {1, 2, 4, 8})
+    if (f < pes) fanouts.push_back(f);
+  const std::vector<std::int64_t> pe_counts{pes, 2 * pes, 4 * pes};
+  out << "Rounds to full knowledge (median of " << trials << " trials):\n\n"
+      << gossip_latency_table(pe_counts, fanouts,
+                              static_cast<std::uint64_t>(trials), seed)
+             .render(2)
+      << "\n";
+
+  // Part 2 — end-to-end erosion impact per fanout, against the centralized
+  // zero-cost oracle (perfectly fresh WIR databases, no gossip traffic).
+  erosion::AppConfig base =
+      scaled_app_config(pes, strong, erosion::Method::kUlba, seed);
+  base.columns_per_pe = 128;
+  base.rows = 192;
+  base.rock_radius = 48;
+  base.iterations = iterations;
+  base.alpha = alpha;
+  std::vector<std::uint64_t> seeds;
+  for (std::int64_t s = 0; s < seed_count; ++s)
+    seeds.push_back(seed + 11 * static_cast<std::uint64_t>(s));
+
+  erosion::AppConfig oracle_cfg = base;
+  oracle_cfg.oracle_wir = true;
+  const ErosionAggregate oracle = erosion_median_over_seeds(oracle_cfg, seeds);
+
+  support::Table impact({"WIR source", "total time [s]", "LB calls",
+                         "mean util", "first LB", "vs oracle"});
+  impact.add_row({"oracle (centralized)",
+                  support::Table::num(oracle.median_seconds, 3),
+                  support::Table::num(oracle.median_lb_calls, 0),
+                  support::Table::pct(oracle.median_utilization, 1),
+                  support::Table::num(oracle.median_first_lb, 0), "-"});
+  std::vector<double> fanout_seconds, fanout_lags;
+  for (const std::int64_t f : fanouts) {
+    erosion::AppConfig cfg = base;
+    cfg.gossip_fanout = f;
+    const ErosionAggregate agg = erosion_median_over_seeds(cfg, seeds);
+    fanout_seconds.push_back(agg.median_seconds);
+    fanout_lags.push_back(agg.median_first_lb);
+    impact.add_row(
+        {"gossip fanout " + std::to_string(f),
+         support::Table::num(agg.median_seconds, 3),
+         support::Table::num(agg.median_lb_calls, 0),
+         support::Table::pct(agg.median_utilization, 1),
+         support::Table::num(agg.median_first_lb, 0),
+         support::Table::pct(
+             agg.median_seconds / oracle.median_seconds - 1.0, 2)});
+  }
+  out << "Erosion app (" << pes << " PEs, " << strong
+      << " strong rock(s), ULBA alpha=" << alpha << "), median of "
+      << seeds.size() << " seed(s):\n\n"
+      << impact.render(2) << "\n";
+
+  // Part 3 — WIR smoothing: detection lag (first LB call) vs. stability.
+  const std::vector<double> smoothings{0.25, 0.5, 0.75, 1.0};
+  support::Table smooth_table(
+      {"smoothing", "total time [s]", "LB calls", "first LB"});
+  for (const double s : smoothings) {
+    erosion::AppConfig cfg = base;
+    cfg.wir_smoothing = s;
+    const ErosionAggregate agg = erosion_median_over_seeds(cfg, seeds);
+    smooth_table.add_row({support::Table::num(s, 2),
+                          support::Table::num(agg.median_seconds, 3),
+                          support::Table::num(agg.median_lb_calls, 0),
+                          support::Table::num(agg.median_first_lb, 0)});
+  }
+  out << "WIR smoothing sweep (gossip fanout " << base.gossip_fanout
+      << "; raw EMA factor, 1.0 = unsmoothed):\n\n"
+      << smooth_table.render(2) << "\n";
+
+  const double degradation_f1 =
+      fanout_seconds.front() / oracle.median_seconds - 1.0;
+  out << "findings:\n"
+      << "  slowest dissemination (fanout 1) costs "
+      << support::Table::pct(degradation_f1, 2)
+      << " vs the centralized oracle\n"
+      << "  detection lag, fanout 1 vs oracle: "
+      << fanout_lags.front() - oracle.median_first_lb << " iteration(s)\n"
+      << "  (stale WIRs are still good WIRs; extra gossip traffic buys "
+         "little — the paper's\n   one-round-per-iteration choice)\n";
+  return 0;
+}
+
+int run_instances(const FlagMap& flags, std::ostream& out) {
+  flags.require_known({"samples", "seed", "alpha-grid"});
+  const std::int64_t samples = flags.get_int("samples", 200);
+  const std::uint64_t seed = flags.get_seed("seed", 20190916);
+  const std::int64_t grid = flags.get_int("alpha-grid", 20);
+  ULBA_REQUIRE(samples >= 1 && samples <= 100000,
+               "--samples must be in [1, 100000]");
+  ULBA_REQUIRE(grid >= 1 && grid <= 1000, "--alpha-grid must be in [1, 1000]");
+
+  out << "Table-II instance sweep: ULBA vs standard over the paper's random\n"
+         "application families (" << samples << " instances per PE family, "
+      << "alpha grid " << grid + 1 << " points)\n\n";
+
+  support::Table table({"P", "wins", "losses", "ties", "median gain",
+                        "mean gain", "min", "max", "best-alpha gain",
+                        "avg best-alpha"});
+  std::int64_t total_wins = 0, total_losses = 0;
+  double peak_best_gain = 0.0;
+  for (const std::int64_t p : core::kTableIIPeCounts) {
+    const FamilyStats s = instance_family_stats(p, samples, seed, grid);
+    total_wins += s.wins;
+    total_losses += s.losses;
+    peak_best_gain = std::max(peak_best_gain, s.median_best_gain);
+    table.add_row({std::to_string(s.pin_p), std::to_string(s.wins),
+                   std::to_string(s.losses), std::to_string(s.ties),
+                   support::Table::pct(s.median_gain, 2),
+                   support::Table::pct(s.mean_gain, 2),
+                   support::Table::pct(s.min_gain, 2),
+                   support::Table::pct(s.max_gain, 2),
+                   support::Table::pct(s.median_best_gain, 2),
+                   support::Table::num(s.mean_best_alpha, 2)});
+  }
+  out << table.render(2) << "\n";
+  out << "('gain' compares ULBA at the instance's drawn alpha against the "
+         "standard\n method; 'best-alpha gain' tunes alpha per instance and "
+         "can never lose)\n\n";
+  out << "overall: " << total_wins << " wins / " << total_losses
+      << " losses at the drawn alpha; median best-alpha gain up to "
+      << support::Table::pct(peak_best_gain, 2)
+      << " (paper Fig. 3: up to ~21 %)\n";
   return 0;
 }
 

@@ -1,0 +1,113 @@
+// Shared sweep/report machinery behind the `ulba_cli` scenario subcommands
+// AND the bench/ experiment harness binaries.
+//
+// PR 1 left the gossip-ablation and Table-II sweeps living only in bench/
+// (bench_ablation_gossip, bench_table2_instances); promoting the scenario
+// logic here lets `ulba_cli gossip` / `ulba_cli instances` and the bench
+// binaries drive ONE implementation instead of duplicating scenario code —
+// bench_common.hpp now merely forwards to this layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "erosion/app.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ulba::cli {
+
+/// Run `fn(i)` for i in [0, n) across hardware threads; returns the results
+/// in index order (R must be default-constructible). The sweeps use this to
+/// fan out seeds / configurations; each unit of work must be independent and
+/// seeded. Built on support::ThreadPool — index claiming keeps imbalanced
+/// sweep cases (e.g. different fanouts) packed tightly.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  // vector<bool> packs bits: adjacent out[i] writes from different threads
+  // would race on one word. Return std::uint8_t (or a struct) instead.
+  static_assert(!std::is_same_v<R, bool>,
+                "parallel_map cannot return bool (vector<bool> bit-packing "
+                "races across threads)");
+  std::vector<R> out(n);
+  support::ThreadPool pool(
+      std::min(std::max<std::size_t>(n, 1),
+               support::ThreadPool::hardware_threads()));
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// The scaled-down erosion configuration every Figure-4/5 sweep shares.
+/// DESIGN.md §3 records the substitution: the geometry ratios (radius/rows =
+/// 1/4, one rock per stripe) match the paper; the absolute scale is reduced
+/// so a full sweep runs in seconds, and the α-β constants place the LB cost
+/// in Table II's C/iteration regime (~0.1–3).
+[[nodiscard]] erosion::AppConfig scaled_app_config(std::int64_t pe_count,
+                                                   std::int64_t strong_rocks,
+                                                   erosion::Method method,
+                                                   std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Gossip-ablation sweep (ulba_cli gossip, bench_ablation_gossip)
+// ---------------------------------------------------------------------------
+
+/// Dissemination-latency table: median rounds (over `trials` trials, with
+/// per-trial streams forked from `seed`) until every PE knows every WIR,
+/// for each PE count × fanout, with a ~log2(P) reference column.
+[[nodiscard]] support::Table gossip_latency_table(
+    std::span<const std::int64_t> pe_counts,
+    std::span<const std::int64_t> fanouts, std::uint64_t trials,
+    std::uint64_t seed);
+
+/// Seed-median aggregate of one erosion configuration — the unit every
+/// gossip/fanout/smoothing sweep reports.
+struct ErosionAggregate {
+  double median_seconds = 0.0;      ///< virtual total time
+  double median_lb_calls = 0.0;
+  double median_utilization = 0.0;  ///< machine-wide busy fraction
+  double median_first_lb = 0.0;  ///< first LB iteration (detection lag; the
+                                 ///< iteration count when no LB ever fired)
+};
+
+/// Run `cfg` once per seed (in parallel) and reduce to medians. Everything
+/// except `cfg.seed` is taken from `cfg` as given.
+[[nodiscard]] ErosionAggregate erosion_median_over_seeds(
+    erosion::AppConfig cfg, std::span<const std::uint64_t> seeds);
+
+// ---------------------------------------------------------------------------
+// Table-II instance-family sweep (ulba_cli instances, bench_table2_instances)
+// ---------------------------------------------------------------------------
+
+/// ULBA-vs-standard statistics over one Table-II family (a pinned PE count).
+struct FamilyStats {
+  std::int64_t pin_p = 0;
+  std::int64_t samples = 0;
+  std::int64_t wins = 0;    ///< ULBA strictly faster at the instance's drawn α
+  std::int64_t losses = 0;  ///< strictly slower at the drawn α
+  std::int64_t ties = 0;
+  double median_gain = 0.0;       ///< at the drawn α, vs. standard [fraction]
+  double mean_gain = 0.0;
+  double min_gain = 0.0;
+  double max_gain = 0.0;
+  double median_best_gain = 0.0;  ///< at the best α of the grid (never < 0)
+  double mean_best_alpha = 0.0;   ///< average arg-max α over the grid
+};
+
+/// Sample `samples` instances from the Table-II generator with P pinned to
+/// `pin_p`, evaluate standard-vs-ULBA analytically (Menon τ schedule vs. the
+/// σ⁺ schedule), both at the instance's drawn α and at the best α over an
+/// `alpha_grid`-point grid. The family's stream is forked from `base_seed`
+/// and `pin_p`, so one base seed spans all families identically wherever the
+/// sweep is driven from. Deterministic for a given base seed.
+[[nodiscard]] FamilyStats instance_family_stats(std::int64_t pin_p,
+                                                std::int64_t samples,
+                                                std::uint64_t base_seed,
+                                                std::int64_t alpha_grid);
+
+}  // namespace ulba::cli

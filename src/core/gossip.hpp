@@ -34,6 +34,12 @@ class GossipNetwork {
   /// database (what Algorithm 1 does before disseminating).
   void observe_local(std::int64_t pe, double wir, std::int64_t iteration);
 
+  /// Centralized-oracle dissemination: record PE `pe`'s measurement into
+  /// EVERY database at once, as if a zero-cost broadcast completed instantly.
+  /// The gossip-ablation scenarios use this as the staleness-free reference
+  /// that `step`-based epidemic dissemination is measured against.
+  void observe_oracle(std::int64_t pe, double wir, std::int64_t iteration);
+
   /// One dissemination round: every PE pushes its database to `fanout`
   /// distinct random peers (≠ itself). Target selection draws from `rng`;
   /// merges are applied against the pre-round snapshot so the round is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 #include "bsp/machine.hpp"
 #include "core/detector.hpp"
@@ -35,6 +36,7 @@ void AppConfig::validate() const {
   ULBA_REQUIRE(wir_smoothing > 0.0 && wir_smoothing <= 1.0,
                "WIR smoothing factor must lie in (0, 1]");
   ULBA_REQUIRE(lb_period >= 1, "LB period must be at least one iteration");
+  ULBA_REQUIRE(threads >= 1, "need at least one stepping thread");
   (void)lb::make_partitioner(partitioner);  // throws on unknown names
   comm.validate();
 }
@@ -109,10 +111,18 @@ RunResult ErosionApp::run() const {
 
   // Gossip traffic per iteration: each PE pushes its P-entry database
   // (16 bytes per entry) to `fanout` peers; pushes proceed concurrently, so
-  // one PE's cost is its own `fanout` sends.
+  // one PE's cost is its own `fanout` sends. The oracle reference pays
+  // nothing — it models perfect knowledge, not a protocol.
   const double gossip_seconds =
-      static_cast<double>(config_.gossip_fanout) *
-      config_.comm.p2p(16 * P);
+      config_.oracle_wir ? 0.0
+                         : static_cast<double>(config_.gossip_fanout) *
+                               config_.comm.p2p(16 * P);
+
+  // Dynamics stepping: serial shared-stream below 2 threads, per-disc
+  // substreams on a pool otherwise (see AppConfig::threads).
+  std::optional<support::ThreadPool> pool;
+  if (config_.threads > 1)
+    pool.emplace(static_cast<std::size_t>(config_.threads));
 
   std::vector<double> wir(static_cast<std::size_t>(P), 0.0);
   std::vector<double> prev_loads;
@@ -134,15 +144,21 @@ RunResult ErosionApp::run() const {
         const double raw = std::max(0.0, loads[i] - prev_loads[i]);
         wir[i] = config_.wir_smoothing * raw +
                  (1.0 - config_.wir_smoothing) * wir[i];
-        gossip.observe_local(p, wir[i], iter);
+        if (config_.oracle_wir)
+          gossip.observe_oracle(p, wir[i], iter);
+        else
+          gossip.observe_local(p, wir[i], iter);
       }
     }
     prev_loads = loads;
     wir_valid = true;
-    gossip.step(gossip_rng);
+    if (!config_.oracle_wir) gossip.step(gossip_rng);
 
     // --- application dynamics (independent of every LB decision)
-    domain.step(dynamics_rng);
+    if (pool)
+      domain.step(dynamics_rng, *pool);
+    else
+      domain.step(dynamics_rng);
 
     // --- adaptive trigger (Algorithm 1 / Zhai-style degradation)
     trigger.record_iteration(report.seconds);

@@ -57,8 +57,19 @@ struct AppConfig {
   double zscore_threshold = 3.0;
   std::int64_t gossip_fanout = 2;
   double wir_smoothing = 0.5;  ///< EMA factor on raw per-iteration WIR
+  /// Replace epidemic WIR dissemination with a zero-cost instant broadcast:
+  /// every database is perfectly fresh each iteration and no gossip traffic
+  /// is charged. The staleness-free reference of the gossip ablation.
+  bool oracle_wir = false;
   bsp::CommModel comm{};
   std::uint64_t seed = 1;
+  /// Host threads stepping the erosion dynamics. 1 = the classic serial
+  /// stepper (one shared RNG stream, the historical trajectory). Any value
+  /// > 1 switches to per-disc RNG substreams stepped on a thread pool —
+  /// bit-identical across all thread counts > 1, but a different (equally
+  /// deterministic) trajectory than the serial stepper. The virtual-time
+  /// results are unaffected by the host's real scheduling either way.
+  std::int64_t threads = 1;
   /// Add Eq. (11)'s anticipated underloading overhead to the trigger
   /// threshold (ULBA only) — §III-C: "the load balancer is called every time
   /// the degradation … overcomes the average LB cost plus the overhead of

@@ -100,21 +100,50 @@ void ErosionDomain::build_disc(const RockDisc& disc) {
 
 std::int64_t ErosionDomain::step(support::Rng& rng) {
   std::int64_t eroded = 0;
-  for (DiscState& d : discs_) eroded += step_disc(d, rng);
+  for (DiscState& d : discs_) {
+    const auto to_erode = decide_disc(d, rng);
+    apply_disc(d, to_erode);
+    eroded += commit_disc(d, to_erode);
+  }
   eroded_ += eroded;
   return eroded;
 }
 
-std::int64_t ErosionDomain::step_disc(DiscState& d, support::Rng& rng) {
-  if (d.frontier.empty()) return 0;
+std::int64_t ErosionDomain::step(support::Rng& rng,
+                                 support::ThreadPool& pool) {
+  // Split per-disc substreams off the master stream, serially and in disc
+  // order, so the draw sequence is independent of how the pool schedules the
+  // disc tasks below.
+  std::vector<support::Rng> streams;
+  streams.reserve(discs_.size());
+  for (std::size_t i = 0; i < discs_.size(); ++i)
+    streams.emplace_back(support::Rng(rng()));
 
-  // Phase 1 — decide against the pre-step state (synchronous CA semantics).
-  // "Each fluid cell computes a probabilistic erosion of neighboring rock
-  // cells": a rock cell takes one erosion trial per adjacent fluid face. A
-  // refined neighbour consists of four finer cells, two of which border this
-  // rock cell — refinement therefore doubles that face's trials, which is
+  std::vector<std::vector<std::int32_t>> to_erode(discs_.size());
+  pool.parallel_for(discs_.size(), [&](std::size_t i) {
+    to_erode[i] = decide_disc(discs_[i], streams[i]);
+    apply_disc(discs_[i], to_erode[i]);
+  });
+
+  // Shared accounting (weights_, total_) commits serially in disc order so
+  // floating-point sums are bit-identical for every pool size.
+  std::int64_t eroded = 0;
+  for (std::size_t i = 0; i < discs_.size(); ++i)
+    eroded += commit_disc(discs_[i], to_erode[i]);
+  eroded_ += eroded;
+  return eroded;
+}
+
+std::vector<std::int32_t> ErosionDomain::decide_disc(const DiscState& d,
+                                                     support::Rng& rng) const {
+  // Decide against the pre-step state (synchronous CA semantics). "Each
+  // fluid cell computes a probabilistic erosion of neighboring rock cells":
+  // a rock cell takes one erosion trial per adjacent fluid face. A refined
+  // neighbour consists of four finer cells, two of which border this rock
+  // cell — refinement therefore doubles that face's trials, which is
   // precisely the paper's "creating even more imbalance" acceleration.
   std::vector<std::int32_t> to_erode;
+  if (d.frontier.empty()) return to_erode;
   const auto fluid_faces = [&](std::int64_t lx, std::int64_t ly) -> int {
     switch (d.at(lx, ly)) {
       case Cell::kOutside:
@@ -135,20 +164,20 @@ std::int64_t ErosionDomain::step_disc(DiscState& d, support::Rng& rng) {
     const double p_eff = 1.0 - std::pow(1.0 - d.erosion_prob, trials);
     if (rng.bernoulli(p_eff)) to_erode.push_back(idx);
   }
-  if (to_erode.empty()) return 0;
+  return to_erode;
+}
 
-  // Phase 2 — apply: rock → refined fluid, workload appears in the column.
-  const double gained = config_.refinement_factor * config_.flop_per_cell;
+void ErosionDomain::apply_disc(DiscState& d,
+                               const std::vector<std::int32_t>& to_erode) {
+  if (to_erode.empty()) return;
+
+  // Rock → refined fluid.
   for (const std::int32_t idx : to_erode) {
     d.cells[static_cast<std::size_t>(idx)] = Cell::kRefined;
-    const std::int64_t lx = idx % d.side;
-    weights_[static_cast<std::size_t>(d.x0 + lx)] += gained;
-    total_ += gained;
     --d.rock_remaining;
-    --rock_remaining_;
   }
 
-  // Phase 3 — newly exposed interior rock joins the frontier.
+  // Newly exposed interior rock joins the frontier.
   const auto expose = [&](std::int64_t lx, std::int64_t ly) {
     if (lx < 0 || ly < 0 || lx >= d.side || ly >= d.side) return;
     const auto idx = static_cast<std::size_t>(ly * d.side + lx);
@@ -170,6 +199,17 @@ std::int64_t ErosionDomain::step_disc(DiscState& d, support::Rng& rng) {
   std::erase_if(d.frontier, [&](std::int32_t idx) {
     return d.cells[static_cast<std::size_t>(idx)] != Cell::kRockFrontier;
   });
+}
+
+std::int64_t ErosionDomain::commit_disc(
+    const DiscState& d, const std::vector<std::int32_t>& to_erode) {
+  const double gained = config_.refinement_factor * config_.flop_per_cell;
+  for (const std::int32_t idx : to_erode) {
+    const std::int64_t lx = idx % d.side;
+    weights_[static_cast<std::size_t>(d.x0 + lx)] += gained;
+    total_ += gained;
+    --rock_remaining_;
+  }
   return static_cast<std::int64_t>(to_erode.size());
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ulba::erosion {
 
@@ -54,8 +55,21 @@ class ErosionDomain {
 
   /// One erosion iteration (synchronous cellular-automaton update: all
   /// erosion decisions are taken against the pre-step state). Returns the
-  /// number of rock cells eroded.
+  /// number of rock cells eroded. All discs draw from the one shared stream,
+  /// in disc order — the classic serial stepper.
   std::int64_t step(support::Rng& rng);
+
+  /// One erosion iteration across a thread pool. Discs are pairwise disjoint
+  /// by construction (DomainConfig::validate), so each disc erodes
+  /// independently on its own RNG substream: the step first splits one
+  /// 64-bit draw per disc off the master stream (serially, in disc order),
+  /// then erodes discs concurrently, then commits the per-column workload
+  /// deltas serially in disc order. Results are therefore bit-identical for
+  /// every pool size — a pool of 1 IS the serial reference — but the
+  /// trajectory differs from the shared-stream `step(rng)` overload, which
+  /// interleaves all discs on one stream. The master `rng` advances by
+  /// exactly disc-count draws regardless of erosion outcomes.
+  std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
 
   /// Per-column workload [FLOP] — what the stripe partitioner cuts.
   [[nodiscard]] std::span<const double> column_weights() const noexcept {
@@ -95,7 +109,17 @@ class ErosionDomain {
   };
 
   void build_disc(const RockDisc& disc);
-  std::int64_t step_disc(DiscState& d, support::Rng& rng);
+  /// Phase 1 — decide which frontier cells erode, against the pre-step state.
+  [[nodiscard]] std::vector<std::int32_t> decide_disc(const DiscState& d,
+                                                      support::Rng& rng) const;
+  /// Phases 2+3, disc-local — flip cells to refined, expose interior rock,
+  /// compact the frontier. Touches nothing outside `d`.
+  static void apply_disc(DiscState& d,
+                         const std::vector<std::int32_t>& to_erode);
+  /// Commit a disc's erosion to the shared per-column workload accounting.
+  /// Must run serially, in disc order, for deterministic FP summation.
+  std::int64_t commit_disc(const DiscState& d,
+                           const std::vector<std::int32_t>& to_erode);
 
   DomainConfig config_;
   std::vector<DiscState> discs_;

@@ -1,0 +1,91 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ulba::support {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = std::max<std::size_t>(threads, 1) - 1;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<unsigned>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    run_range();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::run_range() {
+  for (;;) {
+    std::size_t i;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= job_size_ || first_error_) return;
+      i = next_index_++;
+    }
+    try {
+      (*job_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    // Serial reference path: no locks, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_size_ = n;
+    next_index_ = 0;
+    active_ = workers_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_range();  // the calling thread pulls its share too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ulba::support

@@ -1,0 +1,168 @@
+// Parallel erosion stepping: ErosionDomain::step(rng, pool) must be
+// BIT-identical to the serial path (a pool of 1) for every thread count,
+// across randomized domain configurations — per-disc RNG substreams make
+// the trajectory independent of how the pool schedules the discs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "erosion/domain.hpp"
+#include "support/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::erosion {
+namespace {
+
+constexpr int kRandomConfigs = 12;
+constexpr int kStepsPerConfig = 15;
+
+struct Trace {
+  std::vector<std::int64_t> eroded_per_step;
+  std::vector<double> weights;
+  double total = 0.0;
+  std::int64_t rock_remaining = 0;
+  std::int64_t eroded = 0;
+  std::int64_t frontier = 0;
+  std::uint64_t next_master_draw = 0;  ///< master stream advanced identically
+};
+
+Trace run_steps(const DomainConfig& cfg, std::uint64_t seed,
+                std::size_t threads) {
+  support::ThreadPool pool(threads);
+  ErosionDomain dom(cfg);
+  support::Rng rng(seed);
+  Trace t;
+  for (int s = 0; s < kStepsPerConfig; ++s)
+    t.eroded_per_step.push_back(dom.step(rng, pool));
+  t.weights.assign(dom.column_weights().begin(), dom.column_weights().end());
+  t.total = dom.total_workload();
+  t.rock_remaining = dom.rock_cells_remaining();
+  t.eroded = dom.eroded_cells();
+  t.frontier = dom.frontier_size();
+  t.next_master_draw = rng();
+  return t;
+}
+
+TEST(ErosionParallel, BitIdenticalAcrossThreadCountsOnRandomConfigs) {
+  support::Rng meta(2026);
+  for (int trial = 0; trial < kRandomConfigs; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(meta);
+    const std::uint64_t seed = meta();
+    const Trace serial = run_steps(cfg, seed, 1);
+    for (const std::size_t threads : {2u, 3u, 4u, 8u}) {
+      const Trace parallel = run_steps(cfg, seed, threads);
+      SCOPED_TRACE("trial " + std::to_string(trial) + ", threads " +
+                   std::to_string(threads));
+      EXPECT_EQ(parallel.eroded_per_step, serial.eroded_per_step);
+      ASSERT_EQ(parallel.weights.size(), serial.weights.size());
+      for (std::size_t x = 0; x < serial.weights.size(); ++x)
+        EXPECT_EQ(parallel.weights[x], serial.weights[x]) << "column " << x;
+      // Exact equality, not NEAR: the FP summation order is identical.
+      EXPECT_EQ(parallel.total, serial.total);
+      EXPECT_EQ(parallel.rock_remaining, serial.rock_remaining);
+      EXPECT_EQ(parallel.eroded, serial.eroded);
+      EXPECT_EQ(parallel.frontier, serial.frontier);
+      EXPECT_EQ(parallel.next_master_draw, serial.next_master_draw);
+    }
+  }
+}
+
+TEST(ErosionParallel, ColumnWeightsStayConsistentWithTotal) {
+  support::Rng meta(11);
+  support::ThreadPool pool(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(meta);
+    ErosionDomain dom(cfg);
+    support::Rng rng(meta());
+    std::int64_t initial_rock = dom.rock_cells_remaining();
+    for (int s = 0; s < kStepsPerConfig; ++s) {
+      (void)dom.step(rng, pool);
+      const auto w = dom.column_weights();
+      const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+      ASSERT_NEAR(sum, dom.total_workload(), 1e-9 * dom.total_workload())
+          << "trial " << trial << ", step " << s;
+      ASSERT_EQ(dom.rock_cells_remaining() + dom.eroded_cells(), initial_rock);
+    }
+  }
+}
+
+TEST(ErosionParallel, PoolPathDiffersFromSharedStreamPathButIsDeterministic) {
+  // The per-disc-substream trajectory is a DIFFERENT (equally valid)
+  // realization than the shared-stream serial stepper — but each is
+  // deterministic for a fixed seed.
+  support::Rng meta(5);
+  DomainConfig cfg = testing::random_domain_config(meta);
+  // Force real erosion so the trajectories can actually differ.
+  for (auto& d : cfg.discs) d.erosion_prob = 0.5;
+
+  const Trace pooled_a = run_steps(cfg, 42, 4);
+  const Trace pooled_b = run_steps(cfg, 42, 4);
+  EXPECT_EQ(pooled_a.eroded_per_step, pooled_b.eroded_per_step);
+  EXPECT_EQ(pooled_a.weights, pooled_b.weights);
+
+  ErosionDomain shared(cfg);
+  support::Rng rng(42);
+  std::vector<std::int64_t> shared_eroded;
+  for (int s = 0; s < kStepsPerConfig; ++s)
+    shared_eroded.push_back(shared.step(rng));
+  // Same config, same seed, both deterministic — but distinct streams.
+  // (Equality would require an astronomically unlikely coincidence.)
+  EXPECT_NE(shared_eroded, pooled_a.eroded_per_step);
+}
+
+// ---------------------------------------------------------------------------
+// The pool itself
+// ---------------------------------------------------------------------------
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ZeroItemsIsANoOp) {
+  support::ThreadPool pool(4);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, SerialPoolRunsInlineOnTheCallingThread) {
+  support::ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 57)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SurvivesManyConsecutiveJobs) {
+  support::ThreadPool pool(3);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<int> ran{0};
+    pool.parallel_for(7, [&](std::size_t) { ran.fetch_add(1); });
+    ASSERT_EQ(ran.load(), 7) << "job " << job;
+  }
+}
+
+}  // namespace
+}  // namespace ulba::erosion

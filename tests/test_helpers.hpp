@@ -1,9 +1,17 @@
 // Shared fixtures/factories for the ULBA test suites.
+//
+// The randomized factories (random_model_params, random_domain_config) are
+// THE generators for property-style tests: every suite that needs "some
+// valid random configuration" draws from these, so widening the tested
+// envelope (new parameter ranges, more discs, …) is a one-place change.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "core/params.hpp"
+#include "erosion/domain.hpp"
+#include "support/rng.hpp"
 
 namespace ulba::testing {
 
@@ -40,6 +48,55 @@ inline core::ModelParams paper_scale_params() {
   p.alpha = 0.5;
   p.lb_cost = (p.w0 / static_cast<double>(p.P)) * 0.5 / p.omega;
   return p;
+}
+
+/// A random valid ModelParams inside (a slightly widened version of) the
+/// Table-II envelope: P ∈ {8..2048}, N < P/4, the ΔW = aP + mN identity by
+/// construction, C in the z ∈ [0.1, 3] regime. Already validated.
+inline core::ModelParams random_model_params(support::Rng& rng) {
+  core::ModelParams p;
+  p.P = std::int64_t{1} << rng.uniform_int(3, 11);  // 8 … 2048
+  p.N = rng.uniform_int(1, std::max<std::int64_t>(1, p.P / 4));
+  p.gamma = rng.uniform_int(20, 200);
+  p.omega = 1e9;
+  const auto pd = static_cast<double>(p.P);
+  p.w0 = rng.uniform(52e7, 1165e7) * pd;
+  const double delta_w = (p.w0 / pd) * rng.uniform(0.01, 0.3);
+  const double y = rng.uniform(0.8, 1.0);
+  p.a = delta_w * (1.0 - y) / pd;
+  p.m = delta_w * y / static_cast<double>(p.N);
+  p.alpha = rng.uniform(0.0, 1.0);
+  p.lb_cost = (p.w0 / pd) * rng.uniform(0.1, 3.0) / p.omega;
+  p.validate();
+  return p;
+}
+
+/// A random valid erosion DomainConfig: 1–6 pairwise-disjoint discs of
+/// random radii/probabilities placed left-to-right with the ≥2-cell margin
+/// DomainConfig::validate demands. Already validated.
+inline erosion::DomainConfig random_domain_config(support::Rng& rng) {
+  erosion::DomainConfig c;
+  c.rows = rng.uniform_int(32, 96);
+  c.flop_per_cell = rng.uniform(20.0, 120.0);
+  c.bytes_per_cell = rng.uniform(16.0, 256.0);
+  c.refinement_factor = static_cast<double>(rng.uniform_int(1, 6));
+  const std::int64_t discs = rng.uniform_int(1, 6);
+  const std::int64_t max_radius = std::min<std::int64_t>(12, (c.rows - 5) / 2);
+  std::int64_t cursor = 2;  // left edge + the one-cell fluid margin
+  for (std::int64_t i = 0; i < discs; ++i) {
+    erosion::RockDisc d;
+    d.radius = rng.uniform_int(3, max_radius);
+    d.cx = cursor + d.radius + rng.uniform_int(0, 8);
+    d.cy = rng.uniform_int(d.radius + 2, c.rows - d.radius - 3);
+    d.erosion_prob = rng.uniform(0.0, 1.0);
+    c.discs.push_back(d);
+    // A ≥2-cell horizontal gap between disc edges keeps every pair disjoint
+    // regardless of their vertical placement.
+    cursor = d.cx + d.radius + 2;
+  }
+  c.columns = cursor + rng.uniform_int(2, 24);
+  c.validate();
+  return c;
 }
 
 }  // namespace ulba::testing

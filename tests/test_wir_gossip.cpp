@@ -1,7 +1,9 @@
 // WIR database freshness semantics and epidemic dissemination.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "core/gossip.hpp"
 #include "core/wir_database.hpp"
@@ -165,6 +167,104 @@ TEST(Gossip, DeterministicForFixedSeed) {
   };
   EXPECT_EQ(run(7), run(7));
   EXPECT_NE(run(7), run(8));
+}
+
+TEST(Gossip, RandomizedConvergenceWithinSmoothingImpliedBound) {
+  // Every PE's WIR evolves by the app's EMA, w(t) = s·target + (1−s)·w(t−1)
+  // from w(−1) = 0, so w(t) = target·(1 − (1−s)^(t+1)). Gossip delivers a
+  // snapshot that is `lag` iterations stale; the EMA contraction implies
+  //   |w(now) − w(now−lag)| = target·(1−s)^(now−lag+1)·(1 − (1−s)^lag)
+  //                         ≤ target·(1−s)^(now−lag+1).
+  // After enough rounds every estimate must sit inside that bound of the
+  // centralized (fresh) value — the quantitative version of the paper's
+  // "principle of persistence". Randomized over PE counts, fanouts,
+  // smoothing factors, and seeds.
+  support::Rng meta(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t pe_count = meta.uniform_int(4, 64);
+    const std::int64_t fanout =
+        meta.uniform_int(1, std::min<std::int64_t>(4, pe_count - 1));
+    const double s = meta.uniform(0.2, 1.0);
+    GossipNetwork net(pe_count, fanout);
+    std::vector<double> w(static_cast<std::size_t>(pe_count), 0.0);
+    std::vector<double> target(static_cast<std::size_t>(pe_count));
+    for (auto& t : target) t = meta.uniform(0.5, 10.0);
+    support::Rng rng(meta());
+
+    const std::int64_t rounds =
+        4 * static_cast<std::int64_t>(
+                std::log2(static_cast<double>(pe_count))) +
+        20;
+    for (std::int64_t t = 0; t < rounds; ++t) {
+      for (std::int64_t pe = 0; pe < pe_count; ++pe) {
+        const auto i = static_cast<std::size_t>(pe);
+        w[i] = s * target[i] + (1.0 - s) * w[i];
+        net.observe_local(pe, w[i], t);
+      }
+      net.step(rng);
+    }
+
+    const std::int64_t now = rounds - 1;
+    for (std::int64_t pe = 0; pe < pe_count; ++pe) {
+      for (std::int64_t src = 0; src < pe_count; ++src) {
+        const WirDatabase::Entry& e = net.database(pe).entry(src);
+        ASSERT_TRUE(e.known())
+            << "P=" << pe_count << " f=" << fanout << " pe=" << pe
+            << " src=" << src;
+        const std::int64_t lag = now - e.iteration;
+        ASSERT_GE(lag, 0);
+        const double bound =
+            target[static_cast<std::size_t>(src)] *
+                std::pow(1.0 - s, static_cast<double>(now - lag + 1)) +
+            1e-12;
+        EXPECT_LE(std::abs(w[static_cast<std::size_t>(src)] - e.wir), bound)
+            << "P=" << pe_count << " f=" << fanout << " s=" << s
+            << " lag=" << lag;
+      }
+    }
+  }
+}
+
+TEST(Gossip, RandomizedStalenessStaysLogarithmicish) {
+  // After the warm-up, no entry should be older than a generous multiple of
+  // the epidemic dissemination time O(log_{f+1} P).
+  support::Rng meta(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::int64_t pe_count = meta.uniform_int(8, 96);
+    const std::int64_t fanout =
+        meta.uniform_int(1, std::min<std::int64_t>(3, pe_count - 1));
+    GossipNetwork net(pe_count, fanout);
+    support::Rng rng(meta());
+    const std::int64_t rounds =
+        6 * static_cast<std::int64_t>(
+                std::log2(static_cast<double>(pe_count))) +
+        24;
+    for (std::int64_t t = 0; t < rounds; ++t) {
+      for (std::int64_t pe = 0; pe < pe_count; ++pe)
+        net.observe_local(pe, 1.0, t);
+      net.step(rng);
+    }
+    const double limit =
+        8.0 * std::log2(static_cast<double>(pe_count)) /
+            std::log2(static_cast<double>(fanout + 1)) +
+        16.0;
+    for (std::int64_t pe = 0; pe < pe_count; ++pe) {
+      EXPECT_LE(static_cast<double>(net.database(pe).max_staleness(rounds - 1)),
+                limit)
+          << "P=" << pe_count << " f=" << fanout << " pe=" << pe;
+    }
+  }
+}
+
+TEST(Gossip, OracleObservationReachesEveryDatabaseInstantly) {
+  GossipNetwork net(8, 1);
+  net.observe_oracle(3, 4.5, 2);
+  for (std::int64_t pe = 0; pe < 8; ++pe) {
+    EXPECT_TRUE(net.database(pe).entry(3).known()) << "PE " << pe;
+    EXPECT_DOUBLE_EQ(net.database(pe).entry(3).wir, 4.5);
+    EXPECT_EQ(net.database(pe).entry(3).iteration, 2);
+  }
+  EXPECT_THROW(net.observe_oracle(8, 1.0, 0), std::invalid_argument);
 }
 
 TEST(Gossip, FresherObservationsOverwriteDuringDissemination) {

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Gate `ctest -L integration` wall-clock times against a recorded baseline.
+
+Usage:
+    ctest -L integration --output-junit junit.xml
+    python3 tools/check_timing_smoke.py junit.xml bench/baselines/ci_smoke.json
+
+A test fails the gate when its measured time exceeds
+    max(max_factor * baseline_seconds[test], floor_seconds)
+— the factor catches real regressions (e.g. the threaded erosion stepping
+serializing again), the absolute floor keeps sub-second tests from flapping
+on noisy runners. Tests present in the JUnit report but missing from the
+baseline are reported (and fail the gate) so the baseline stays in sync with
+the suite.
+"""
+
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    junit_path, baseline_path = sys.argv[1], sys.argv[2]
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    max_factor = float(baseline["max_factor"])
+    floor_seconds = float(baseline["floor_seconds"])
+    expected = {k: float(v) for k, v in baseline["baseline_seconds"].items()}
+
+    measured = {}
+    for case in ET.parse(junit_path).getroot().iter("testcase"):
+        name = case.get("name", "")
+        if name:
+            measured[name] = float(case.get("time", "0"))
+
+    if not measured:
+        print(f"error: no test cases found in {junit_path}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, seconds in sorted(measured.items()):
+        if name not in expected:
+            failures.append(f"{name}: no baseline recorded in {baseline_path}")
+            continue
+        limit = max(max_factor * expected[name], floor_seconds)
+        verdict = "ok" if seconds <= limit else "REGRESSED"
+        print(f"  {name:30s} {seconds:8.3f}s  (baseline {expected[name]:.3f}s,"
+              f" limit {limit:.3f}s)  {verdict}")
+        if seconds > limit:
+            failures.append(
+                f"{name}: {seconds:.3f}s exceeds limit {limit:.3f}s "
+                f"({max_factor}x baseline {expected[name]:.3f}s)")
+
+    stale = sorted(set(expected) - set(measured))
+    for name in stale:
+        print(f"  note: baseline entry '{name}' did not run", file=sys.stderr)
+
+    if failures:
+        print("\ntiming smoke FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\ntiming smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
