@@ -2,55 +2,19 @@
 //
 // §IV-B and §V observe that α should shrink as the overloading fraction
 // grows (the Eq. (11) overhead is ∝ αN/(P−N)) and leave runtime adaptation
-// to future work. This ablation implements the obvious rule
-// α_eff = α·(1 − 2N̂/P) and compares it against fixed α as the number of
-// strongly erodible rocks grows.
+// to future work. Two runtime policies close the loop, both feeding on the
+// gossip-estimated WIR databases: the fraction heuristic
+// α_eff = α·(1 − 2N̂/P) and the model-grid policy (per-interval grid search
+// over the analytic model with gossip-estimated N̂/â/m̂). Both sweeps live
+// in the shared cli::sweep layer — `ulba_cli dynamic-alpha` reports the
+// same implementation.
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/instance.hpp"
-#include "opt/dp_alpha.hpp"
-#include "opt/dp_optimal.hpp"
-#include "support/stats.hpp"
 #include "support/table.hpp"
-
-namespace {
-
-// Model-level upper bound on what dynamic α can ever buy: the exact DP over
-// (schedule × per-step α) vs. the exact DP with the best single fixed α.
-void model_level_study() {
-  using namespace ulba;
-  constexpr std::size_t kInstances = 150;
-  const auto margins = bench::parallel_map(kInstances, [&](std::size_t i) {
-    support::Rng rng = support::Rng(888).fork(i);
-    const core::InstanceGenerator gen;
-    const core::ModelParams base = gen.sample(rng).params;
-
-    double best_fixed = std::numeric_limits<double>::infinity();
-    for (double alpha : opt::default_alpha_grid()) {
-      core::ModelParams p = base;
-      p.alpha = alpha;
-      best_fixed = std::min(
-          best_fixed,
-          opt::optimal_schedule(p, opt::CostModel::kUlba).total_seconds);
-    }
-    const auto free_res = opt::optimal_alpha_schedule(base);
-    return (1.0 - free_res.total_seconds / best_fixed) * 100.0;
-  });
-  const auto s = support::summarize(margins);
-  std::printf("Model-level bound (exact DP, %zu Table-II instances):\n",
-              kInstances);
-  std::printf("  per-step alpha beats the best single alpha by: mean "
-              "%.3f%%, median %.3f%%, max %.2f%%\n",
-              s.mean, s.median, s.max);
-  std::printf("  => most of dynamic alpha's value is matching alpha to the "
-              "CURRENT overloading set,\n"
-              "     not varying it step to step — consistent with the "
-              "paper's Fig. 3/5 reading.\n\n");
-}
-
-}  // namespace
 
 int main() {
   using namespace ulba;
@@ -59,77 +23,52 @@ int main() {
       "Boulmier et al. §V: \"to dynamically adjust alpha during application "
       "execution in future works\"");
 
-  std::printf("\n");
-  model_level_study();
+  // Model-level upper bound on what dynamic α can ever buy: the exact DP
+  // over (schedule × per-step α) vs. the exact DP with the best fixed α.
+  const auto bound = bench::dynamic_alpha_model_bound(150, 888);
+  std::printf("\nModel-level bound (exact DP, 150 Table-II instances):\n"
+              "  per-step alpha beats the best single alpha by: mean "
+              "%.3f%%, median %.3f%%, max %.2f%%\n"
+              "  => most of dynamic alpha's value is matching alpha to the "
+              "CURRENT overloading set,\n"
+              "     not varying it step to step — consistent with the "
+              "paper's Fig. 3/5 reading.\n\n",
+              bound.mean_pct, bound.median_pct, bound.max_pct);
 
   const std::vector<std::int64_t> rock_counts{1, 2, 4, 6};
   const std::vector<std::uint64_t> seeds{11, 22, 33};
-
-  struct Variant {
-    const char* name;
-    double alpha;
-    bool dynamic;
-  };
-  const std::vector<Variant> variants{
-      {"fixed alpha=0.2", 0.2, false},
-      {"fixed alpha=0.4", 0.4, false},
-      {"fixed alpha=0.6", 0.6, false},
-      {"dynamic alpha (base 0.6)", 0.6, true},
-  };
-
-  struct Case {
-    std::size_t variant;
-    std::int64_t rocks;
-    std::uint64_t seed;
-  };
-  std::vector<Case> cases;
-  for (std::size_t v = 0; v < variants.size(); ++v)
-    for (auto r : rock_counts)
-      for (auto s : seeds) cases.push_back({v, r, s});
-
-  const auto results = bench::parallel_map(cases.size(), [&](std::size_t i) {
-    auto cfg = bench::scaled_app_config(32, cases[i].rocks,
-                                        erosion::Method::kUlba,
-                                        cases[i].seed);
-    cfg.alpha = variants[cases[i].variant].alpha;
-    cfg.dynamic_alpha = variants[cases[i].variant].dynamic;
-    return erosion::ErosionApp(cfg).run().total_seconds;
-  });
+  const std::vector<bench::AlphaVariant> variants =
+      bench::dynamic_alpha_variants(0.6);
+  const auto medians =
+      bench::dynamic_alpha_grid(variants, rock_counts, 32, seeds, 0);
 
   std::vector<std::string> headers{"variant"};
-  for (auto r : rock_counts)
+  for (const auto r : rock_counts)
     headers.push_back(std::to_string(r) + " strong rocks");
   support::Table table(headers);
-
-  std::vector<std::vector<double>> medians(
-      variants.size(), std::vector<double>(rock_counts.size(), 0.0));
   for (std::size_t v = 0; v < variants.size(); ++v) {
-    std::vector<std::string> row{variants[v].name};
-    for (std::size_t ri = 0; ri < rock_counts.size(); ++ri) {
-      std::vector<double> xs;
-      for (std::size_t i = 0; i < cases.size(); ++i)
-        if (cases[i].variant == v && cases[i].rocks == rock_counts[ri])
-          xs.push_back(results[i]);
-      medians[v][ri] = support::median(xs);
+    std::vector<std::string> row{variants[v].label};
+    for (std::size_t ri = 0; ri < rock_counts.size(); ++ri)
       row.push_back(support::Table::num(medians[v][ri], 3));
-    }
     table.add_row(row);
   }
-
-  std::printf("\nTotal time [virtual s], 32 PEs, median of %zu seeds:\n\n%s\n",
+  std::printf("Total time [virtual s], 32 PEs, median of %zu seeds:\n\n%s\n",
               seeds.size(), table.render(2).c_str());
 
-  // Dynamic α must track the best fixed α across the sweep (within 5 %),
-  // without knowing the rock count in advance.
+  // The gossip-fed dynamic policies must track the best fixed α across the
+  // sweep (within 5 %), without knowing the rock count in advance.
+  // Variant layout (dynamic_alpha_variants): [0..2] fixed, [3] fraction
+  // (gossip), [4] model (gossip), [5] model (oracle WIR).
   bool ok = true;
   for (std::size_t ri = 0; ri < rock_counts.size(); ++ri) {
     double best_fixed = 1e300;
-    for (std::size_t v = 0; v + 1 < variants.size(); ++v)
+    for (std::size_t v = 0; v < 3; ++v)
       best_fixed = std::min(best_fixed, medians[v][ri]);
-    const double dyn = medians.back()[ri];
-    std::printf("  %lld rocks: best fixed %.3f s, dynamic %.3f s (%+.1f%%)\n",
+    const double dyn = std::min(medians[3][ri], medians[4][ri]);
+    std::printf("  %lld rocks: best fixed %.3f s, best dynamic %.3f s "
+                "(%+.1f%%), oracle model %.3f s\n",
                 static_cast<long long>(rock_counts[ri]), best_fixed, dyn,
-                (dyn / best_fixed - 1.0) * 100.0);
+                (dyn / best_fixed - 1.0) * 100.0, medians[5][ri]);
     if (dyn > best_fixed * 1.05) ok = false;
   }
   std::printf("\n  verdict: %s (dynamic alpha tracks the oracle fixed "

@@ -1,17 +1,22 @@
 // E-X5 (extension) — partitioner ablation: the paper's greedy stripe scan
-// vs. 1-D recursive bisection vs. the exact min–max(load/target) optimum.
+// vs. 1-D recursive bisection vs. the exact min–max(load/target) optimum
+// vs. weight-agnostic even stripes.
 //
 // Two questions: (a) how far from optimal is the paper's cutting technique
 // on the erosion workload's column-weight profiles, and (b) does a better
 // cut change the end-to-end standard-vs-ULBA comparison? (Spoiler: the
 // greedy scan is already near-optimal on smooth profiles — the ULBA effect
 // does not hinge on cutting quality.)
+//
+// Both sweeps live in the shared cli::sweep layer, so this harness drives
+// the same implementation as `ulba_cli erosion --partitioner` — and the
+// end-to-end pass steps through the sharded domain (4 shards), doubling as
+// a partition-invariance exercise on the full app path.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "erosion/domain.hpp"
-#include "lb/partitioners.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -23,75 +28,41 @@ int main() {
       "extends Boulmier et al. §IV-B (the paper's centralized stripe "
       "technique)");
 
+  const std::vector<std::string> names{"greedy", "rcb", "optimal"};
+
   // Part 1: cutting quality on evolved erosion column-weight profiles.
   std::printf("\nBottleneck ratio max_p(load_p / target_p / Wtot) on erosion "
               "profiles\n(32 PEs, 1 strong rock, profile sampled every 30 "
               "iterations; 1.0 = ideal):\n\n");
-  erosion::DomainConfig dcfg;
-  dcfg.columns = 32 * 256;
-  dcfg.rows = 384;
-  for (int i = 0; i < 32; ++i)
-    dcfg.discs.push_back(
-        erosion::RockDisc{128 + 256 * i, 192, 96, i == 7 ? 0.4 : 0.02});
-  erosion::ErosionDomain domain(dcfg);
-  support::Rng rng(99);
-
-  const std::vector<double> targets(32, 1.0 / 32.0);
-  support::Table quality(
-      {"iteration", "greedy-scan", "rcb", "optimal-ratio"});
-  std::vector<double> greedy_gaps, rcb_gaps;
-  for (int snapshot = 0; snapshot <= 5; ++snapshot) {
-    const auto w = domain.column_weights();
-    const double r_greedy = lb::bottleneck_ratio(
-        w, targets, lb::GreedyScanPartitioner{}.partition(w, targets));
-    const double r_rcb = lb::bottleneck_ratio(
-        w, targets, lb::RcbPartitioner{}.partition(w, targets));
-    const double r_opt = lb::bottleneck_ratio(
-        w, targets, lb::OptimalRatioPartitioner{}.partition(w, targets));
-    quality.add_row({std::to_string(snapshot * 30),
-                     support::Table::num(r_greedy, 5),
-                     support::Table::num(r_rcb, 5),
-                     support::Table::num(r_opt, 5)});
-    greedy_gaps.push_back(r_greedy / r_opt - 1.0);
-    rcb_gaps.push_back(r_rcb / r_opt - 1.0);
-    for (int it = 0; it < 30; ++it) (void)domain.step(rng);
+  const auto quality_rows =
+      bench::partitioner_quality_sweep(names, 32, 5, 30, 99);
+  std::vector<std::string> headers{"iteration"};
+  for (const std::string& n : names) headers.push_back(n);
+  support::Table quality(headers);
+  std::vector<double> greedy_gaps;
+  for (const auto& row : quality_rows) {
+    std::vector<std::string> cells{std::to_string(row.iteration)};
+    for (const double r : row.ratios)
+      cells.push_back(support::Table::num(r, 5));
+    quality.add_row(cells);
+    greedy_gaps.push_back(row.ratios[0] / row.ratios[2] - 1.0);
   }
   std::printf("%s\n", quality.render(2).c_str());
 
-  // Part 2: end-to-end effect on the Figure-4a comparison (64 PEs, 1 rock).
-  const std::vector<const char*> names{"greedy-scan", "rcb", "optimal-ratio"};
+  // Part 2: end-to-end effect on the Figure-4a comparison (64 PEs, 1 rock),
+  // stepped through 4 host shards cut by the partitioner under test.
   const std::vector<std::uint64_t> seeds{11, 22, 33};
-  struct Case {
-    std::size_t name_idx;
-    erosion::Method method;
-    std::uint64_t seed;
-  };
-  std::vector<Case> cases;
-  for (std::size_t ni = 0; ni < names.size(); ++ni)
-    for (auto m : {erosion::Method::kStandard, erosion::Method::kUlba})
-      for (auto s : seeds) cases.push_back({ni, m, s});
-  const auto results = bench::parallel_map(cases.size(), [&](std::size_t i) {
-    auto cfg = bench::scaled_app_config(64, 1, cases[i].method,
-                                        cases[i].seed);
-    cfg.partitioner = names[cases[i].name_idx];
-    return erosion::ErosionApp(cfg).run().total_seconds;
-  });
-
+  const auto e2e_rows = bench::partitioner_end_to_end(names, 64, 1, seeds, 4);
   support::Table e2e({"partitioner", "standard [s]", "ULBA [s]", "ULBA gain"});
-  for (std::size_t ni = 0; ni < names.size(); ++ni) {
-    std::vector<double> t_std, t_ulba;
-    for (std::size_t i = 0; i < cases.size(); ++i) {
-      if (cases[i].name_idx != ni) continue;
-      (cases[i].method == erosion::Method::kStandard ? t_std : t_ulba)
-          .push_back(results[i]);
-    }
-    const double ms = support::median(t_std), mu = support::median(t_ulba);
-    e2e.add_row({names[ni], support::Table::num(ms, 3),
-                 support::Table::num(mu, 3),
-                 support::Table::pct((ms - mu) / ms, 1)});
+  for (const auto& row : e2e_rows) {
+    e2e.add_row({row.name, support::Table::num(row.median_standard, 3),
+                 support::Table::num(row.median_ulba, 3),
+                 support::Table::pct((row.median_standard - row.median_ulba) /
+                                         row.median_standard,
+                                     1)});
   }
-  std::printf("End-to-end erosion run (64 PEs, 1 strong rock, median of %zu "
-              "seeds):\n\n%s\n",
+  std::printf("End-to-end erosion run (64 PEs, 1 strong rock, 4 shards, "
+              "median of %zu seeds):\n\n%s\n",
               seeds.size(), e2e.render(2).c_str());
 
   const double greedy_gap = support::max_of(greedy_gaps);

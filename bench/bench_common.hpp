@@ -14,10 +14,16 @@
 
 namespace ulba::bench {
 
+using cli::AlphaVariant;
+using cli::dynamic_alpha_grid;
+using cli::dynamic_alpha_model_bound;
+using cli::dynamic_alpha_variants;
 using cli::erosion_median_over_seeds;
 using cli::gossip_latency_table;
 using cli::instance_family_stats;
 using cli::parallel_map;
+using cli::partitioner_end_to_end;
+using cli::partitioner_quality_sweep;
 using cli::scaled_app_config;
 
 inline void print_header(const std::string& title, const std::string& paper) {

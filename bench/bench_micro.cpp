@@ -12,12 +12,14 @@
 #include "core/policy.hpp"
 #include "core/schedule.hpp"
 #include "erosion/domain.hpp"
+#include "erosion/sharded_domain.hpp"
 #include "lb/partitioners.hpp"
 #include "lb/stripe_partitioner.hpp"
 #include "opt/dp_alpha.hpp"
 #include "opt/dp_optimal.hpp"
 #include "opt/schedule_problem.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -114,6 +116,27 @@ void BM_ErosionStep(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(domain.step(rng));
 }
 BENCHMARK(BM_ErosionStep);
+
+void BM_ShardedErosionStep(benchmark::State& state) {
+  erosion::DomainConfig cfg;
+  cfg.columns = 4096;
+  cfg.rows = 256;
+  for (int i = 0; i < 16; ++i)
+    cfg.discs.push_back(
+        erosion::RockDisc{128 + 256 * i, 128, 64, i == 0 ? 0.4 : 0.02});
+  erosion::ShardedDomain domain(
+      cfg, state.range(0),
+      std::shared_ptr<const lb::Partitioner>(lb::make_partitioner("greedy")));
+  // A pool of 1 (the serial reference path) isolates the sharding
+  // discipline's overhead — stream split, per-shard decide/apply, ordered
+  // commit — from scheduler noise; multi-thread scaling is covered
+  // functionally by test_sharded_erosion and is too run-to-run noisy on
+  // shared CI runners to perf-gate.
+  support::ThreadPool pool(1);
+  support::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(domain.step(rng, pool));
+}
+BENCHMARK(BM_ShardedErosionStep)->Arg(1)->Arg(4);
 
 void BM_OptimalRatioPartition(benchmark::State& state) {
   const auto columns = static_cast<std::size_t>(state.range(0));

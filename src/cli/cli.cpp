@@ -27,8 +27,12 @@ std::string quickstart_help() {
          "sigma+],\nand total time standard-vs-ULBA (mini Figure 3), plus a "
          "mini erosion run.\n\n"
          "options:\n"
-         "  --threads <int>  host threads stepping the mini erosion run "
-         "[1]\n\n" +
+         "  --threads <int>      host threads stepping the mini erosion run "
+         "[1]\n"
+         "  --shards <int>       host shards stepping the mini erosion run "
+         "[1]\n"
+         "  --partitioner <name> shard cutter: greedy|rcb|optimal|stripe "
+         "[greedy]\n\n" +
          model_param_help(quickstart_defaults());
 }
 
@@ -54,7 +58,13 @@ std::string erosion_help() {
          "  --threads <int>        host threads stepping the dynamics "
          "(per-disc\n"
          "                         RNG substreams; not combinable with "
-         "--mt)  [1]\n";
+         "--mt)  [1]\n"
+         "  --shards <int>         host shards stepping the dynamics "
+         "(bit-identical\n"
+         "                         to the serial run; not combinable with "
+         "--mt)  [1]\n"
+         "  --partitioner <name>   disc-to-shard + LB cutting algorithm:\n"
+         "                         greedy|rcb|optimal|stripe      [greedy]\n";
 }
 
 std::string intervals_help() {
@@ -88,6 +98,22 @@ std::string gossip_help() {
          "  --iterations <int>  erosion iterations             [120]\n"
          "  --alpha <0..1>      ULBA fraction                  [0.4]\n"
          "  --trials <int>      latency-table trials           [10]\n";
+}
+
+std::string dynamic_alpha_help() {
+  return "Dynamic alpha (E-X4, the paper's Section-V future-work item): "
+         "per-interval\nalpha driven by the gossip-estimated overloading "
+         "fraction — the fraction\nheuristic and the model-grid policy — "
+         "vs. fixed alpha and vs. the\ncentralized oracle, plus the exact "
+         "DP bound and a per-interval alpha trace.\n\n"
+         "options:\n"
+         "  --pes <int>         processing elements               [32]\n"
+         "  --seed <int>        base seed                         [11]\n"
+         "  --seeds <int>       seeds per configuration           [3]\n"
+         "  --iterations <int>  erosion iterations (0 = default)  [0]\n"
+         "  --alpha <0..1>      base/fixed ULBA fraction          [0.6]\n"
+         "  --rocks <int>       largest strong-rock count swept   [6]\n"
+         "  --instances <int>   DP-bound Table-II instances       [60]\n";
 }
 
 std::string instances_help() {
@@ -135,6 +161,12 @@ const std::vector<Subcommand>& registry() {
        {},
        run_instances,
        instances_help},
+      {"dynamic-alpha",
+       "E-X4: per-interval alpha from the gossip-estimated overloading "
+       "fraction",
+       {},
+       run_dynamic_alpha,
+       dynamic_alpha_help},
   };
   return kSubcommands;
 }

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "core/gossip.hpp"
 #include "core/schedule.hpp"
+#include "erosion/domain.hpp"
+#include "lb/partitioners.hpp"
+#include "opt/dp_alpha.hpp"
+#include "opt/dp_optimal.hpp"
 #include "support/require.hpp"
 #include "support/stats.hpp"
 
@@ -166,6 +171,156 @@ FamilyStats instance_family_stats(std::int64_t pin_p, std::int64_t samples,
   stats.median_best_gain = support::median(best_gains);
   stats.mean_best_alpha = support::mean(best_alphas);
   return stats;
+}
+
+std::vector<PartitionerQualityRow> partitioner_quality_sweep(
+    std::span<const std::string> names, std::int64_t pe_count,
+    std::int64_t snapshots, std::int64_t iterations_between,
+    std::uint64_t seed) {
+  ULBA_REQUIRE(!names.empty(), "need at least one partitioner");
+  ULBA_REQUIRE(snapshots >= 0 && iterations_between >= 1,
+               "quality sweep needs a forward-moving sampling plan");
+  // The same scaled geometry the end-to-end sweeps run, so cutting quality
+  // is measured on exactly the profiles the CLI's erosion scenario produces.
+  const erosion::AppConfig cfg =
+      scaled_app_config(pe_count, 1, erosion::Method::kStandard, seed);
+  erosion::ErosionDomain domain(erosion::ErosionApp(cfg).make_domain());
+  support::Rng rng = support::Rng(seed).fork(1);
+
+  const std::vector<double> targets(
+      static_cast<std::size_t>(pe_count),
+      1.0 / static_cast<double>(pe_count));
+  std::vector<PartitionerQualityRow> rows;
+  for (std::int64_t snapshot = 0; snapshot <= snapshots; ++snapshot) {
+    PartitionerQualityRow row;
+    row.iteration = snapshot * iterations_between;
+    const auto w = domain.column_weights();
+    for (const std::string& name : names) {
+      const auto partitioner = lb::make_partitioner(name);
+      row.ratios.push_back(
+          lb::bottleneck_ratio(w, targets, partitioner->partition(w, targets)));
+    }
+    rows.push_back(std::move(row));
+    if (snapshot < snapshots)
+      for (std::int64_t it = 0; it < iterations_between; ++it)
+        (void)domain.step(rng);
+  }
+  return rows;
+}
+
+std::vector<PartitionerEndToEnd> partitioner_end_to_end(
+    std::span<const std::string> names, std::int64_t pe_count,
+    std::int64_t strong_rocks, std::span<const std::uint64_t> seeds,
+    std::int64_t shards) {
+  ULBA_REQUIRE(!names.empty() && !seeds.empty(),
+               "need at least one partitioner and one seed");
+  struct Case {
+    std::size_t name_idx;
+    erosion::Method method;
+    std::uint64_t seed;
+  };
+  std::vector<Case> cases;
+  for (std::size_t ni = 0; ni < names.size(); ++ni)
+    for (const auto m : {erosion::Method::kStandard, erosion::Method::kUlba})
+      for (const std::uint64_t s : seeds) cases.push_back({ni, m, s});
+  const auto results = parallel_map(cases.size(), [&](std::size_t i) {
+    erosion::AppConfig cfg = scaled_app_config(pe_count, strong_rocks,
+                                               cases[i].method, cases[i].seed);
+    cfg.partitioner = names[cases[i].name_idx];
+    cfg.shards = shards;
+    return erosion::ErosionApp(cfg).run().total_seconds;
+  });
+
+  std::vector<PartitionerEndToEnd> rows;
+  for (std::size_t ni = 0; ni < names.size(); ++ni) {
+    std::vector<double> t_std, t_ulba;
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      if (cases[i].name_idx != ni) continue;
+      (cases[i].method == erosion::Method::kStandard ? t_std : t_ulba)
+          .push_back(results[i]);
+    }
+    rows.push_back({names[ni], support::median(t_std),
+                    support::median(t_ulba)});
+  }
+  return rows;
+}
+
+DynamicAlphaModelBound dynamic_alpha_model_bound(std::size_t instances,
+                                                 std::uint64_t seed) {
+  ULBA_REQUIRE(instances >= 1, "need at least one instance");
+  const auto margins = parallel_map(instances, [&](std::size_t i) {
+    support::Rng rng = support::Rng(seed).fork(i);
+    const core::InstanceGenerator gen;
+    const core::ModelParams base = gen.sample(rng).params;
+
+    double best_fixed = std::numeric_limits<double>::infinity();
+    for (const double alpha : opt::default_alpha_grid()) {
+      core::ModelParams p = base;
+      p.alpha = alpha;
+      best_fixed = std::min(
+          best_fixed,
+          opt::optimal_schedule(p, opt::CostModel::kUlba).total_seconds);
+    }
+    const auto free_res = opt::optimal_alpha_schedule(base);
+    return (1.0 - free_res.total_seconds / best_fixed) * 100.0;
+  });
+  const auto s = support::summarize(margins);
+  return {s.mean, s.median, s.max};
+}
+
+std::vector<AlphaVariant> dynamic_alpha_variants(double base_alpha) {
+  return {
+      {"fixed alpha=0.2", 0.2, erosion::AlphaPolicy::kFixed, false},
+      {"fixed alpha=0.4", 0.4, erosion::AlphaPolicy::kFixed, false},
+      {"fixed alpha=" + support::Table::num(base_alpha, 1), base_alpha,
+       erosion::AlphaPolicy::kFixed, false},
+      {"fraction (gossip)", base_alpha, erosion::AlphaPolicy::kGossipFraction,
+       false},
+      {"model (gossip)", base_alpha, erosion::AlphaPolicy::kGossipModel,
+       false},
+      {"model (oracle WIR)", base_alpha, erosion::AlphaPolicy::kGossipModel,
+       true},
+  };
+}
+
+std::vector<std::vector<double>> dynamic_alpha_grid(
+    std::span<const AlphaVariant> variants,
+    std::span<const std::int64_t> rock_counts, std::int64_t pe_count,
+    std::span<const std::uint64_t> seeds, std::int64_t iterations) {
+  ULBA_REQUIRE(!variants.empty() && !rock_counts.empty() && !seeds.empty(),
+               "dynamic-alpha sweep needs variants, rock counts, and seeds");
+  struct Case {
+    std::size_t variant;
+    std::size_t rock_idx;
+    std::uint64_t seed;
+  };
+  std::vector<Case> cases;
+  for (std::size_t v = 0; v < variants.size(); ++v)
+    for (std::size_t ri = 0; ri < rock_counts.size(); ++ri)
+      for (const std::uint64_t s : seeds) cases.push_back({v, ri, s});
+  const auto results = parallel_map(cases.size(), [&](std::size_t i) {
+    erosion::AppConfig cfg =
+        scaled_app_config(pe_count, rock_counts[cases[i].rock_idx],
+                          erosion::Method::kUlba, cases[i].seed);
+    if (iterations > 0) cfg.iterations = iterations;
+    cfg.alpha = variants[cases[i].variant].alpha;
+    cfg.alpha_policy = variants[cases[i].variant].policy;
+    cfg.oracle_wir = variants[cases[i].variant].oracle_wir;
+    return erosion::ErosionApp(cfg).run().total_seconds;
+  });
+
+  std::vector<std::vector<double>> medians(
+      variants.size(), std::vector<double>(rock_counts.size(), 0.0));
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t ri = 0; ri < rock_counts.size(); ++ri) {
+      std::vector<double> xs;
+      for (std::size_t i = 0; i < cases.size(); ++i)
+        if (cases[i].variant == v && cases[i].rock_idx == ri)
+          xs.push_back(results[i]);
+      medians[v][ri] = support::median(xs);
+    }
+  }
+  return medians;
 }
 
 }  // namespace ulba::cli

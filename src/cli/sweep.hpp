@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -21,13 +23,14 @@
 
 namespace ulba::cli {
 
-/// Run `fn(i)` for i in [0, n) across hardware threads; returns the results
-/// in index order (R must be default-constructible). The sweeps use this to
-/// fan out seeds / configurations; each unit of work must be independent and
-/// seeded. Built on support::ThreadPool — index claiming keeps imbalanced
-/// sweep cases (e.g. different fanouts) packed tightly.
+/// Run `fn(i)` for i in [0, n) across `pool`; returns the results in index
+/// order (R must be default-constructible). Each unit of work must be
+/// independent and seeded. Index claiming keeps imbalanced sweep cases
+/// (e.g. different fanouts) packed tightly; exceptions thrown by `fn`
+/// propagate to the caller (first one wins, the rest of the range is
+/// abandoned).
 template <typename Fn>
-auto parallel_map(std::size_t n, Fn&& fn)
+auto parallel_map(support::ThreadPool& pool, std::size_t n, Fn&& fn)
     -> std::vector<decltype(fn(std::size_t{0}))> {
   using R = decltype(fn(std::size_t{0}));
   // vector<bool> packs bits: adjacent out[i] writes from different threads
@@ -36,11 +39,19 @@ auto parallel_map(std::size_t n, Fn&& fn)
                 "parallel_map cannot return bool (vector<bool> bit-packing "
                 "races across threads)");
   std::vector<R> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Convenience overload on a transient pool: one thread per hardware core
+/// (capped at n). The sweeps use this to fan out seeds / configurations.
+template <typename Fn>
+auto parallel_map(std::size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
   support::ThreadPool pool(
       std::min(std::max<std::size_t>(n, 1),
                support::ThreadPool::hardware_threads()));
-  pool.parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
-  return out;
+  return parallel_map(pool, n, std::forward<Fn>(fn));
 }
 
 /// The scaled-down erosion configuration every Figure-4/5 sweep shares.
@@ -109,5 +120,75 @@ struct FamilyStats {
                                                 std::int64_t samples,
                                                 std::uint64_t base_seed,
                                                 std::int64_t alpha_grid);
+
+// ---------------------------------------------------------------------------
+// Partitioner ablation (bench_ablation_partitioner; `erosion --partitioner`
+// drives the same ErosionApp implementation)
+// ---------------------------------------------------------------------------
+
+/// Bottleneck ratios of each partitioner on one snapshot of the evolving
+/// erosion column-weight profile (even targets; 1.0 = ideal cut).
+struct PartitionerQualityRow {
+  std::int64_t iteration = 0;
+  std::vector<double> ratios;  ///< parallel to the `names` argument
+};
+
+/// Evolve the scaled erosion domain (pe_count discs, 1 strong, placement
+/// from `seed`) and sample the cutting quality of every named partitioner
+/// every `iterations_between` iterations, `snapshots` + 1 times.
+[[nodiscard]] std::vector<PartitionerQualityRow> partitioner_quality_sweep(
+    std::span<const std::string> names, std::int64_t pe_count,
+    std::int64_t snapshots, std::int64_t iterations_between,
+    std::uint64_t seed);
+
+/// Median end-to-end erosion times per partitioner (standard vs. ULBA),
+/// stepped through `shards` host shards (1 = the unsharded classic path —
+/// the totals are shard-invariant either way).
+struct PartitionerEndToEnd {
+  std::string name;
+  double median_standard = 0.0;
+  double median_ulba = 0.0;
+};
+[[nodiscard]] std::vector<PartitionerEndToEnd> partitioner_end_to_end(
+    std::span<const std::string> names, std::int64_t pe_count,
+    std::int64_t strong_rocks, std::span<const std::uint64_t> seeds,
+    std::int64_t shards);
+
+// ---------------------------------------------------------------------------
+// Dynamic-α ablation (ulba_cli dynamic-alpha, bench_ablation_dynamic_alpha)
+// ---------------------------------------------------------------------------
+
+/// Model-level upper bound on what dynamic α can ever buy: the exact DP over
+/// (schedule × per-step α) vs. the exact DP at the best single fixed α,
+/// over random Table-II instances (opt::optimal_alpha_schedule).
+struct DynamicAlphaModelBound {
+  double mean_pct = 0.0;
+  double median_pct = 0.0;
+  double max_pct = 0.0;
+};
+[[nodiscard]] DynamicAlphaModelBound dynamic_alpha_model_bound(
+    std::size_t instances, std::uint64_t seed);
+
+/// One α-selection variant of the erosion-level dynamic-α sweep.
+struct AlphaVariant {
+  std::string label;
+  double alpha = 0.4;  ///< the base/fixed α
+  erosion::AlphaPolicy policy = erosion::AlphaPolicy::kFixed;
+  bool oracle_wir = false;  ///< centralized zero-cost WIR reference
+};
+
+/// The standard comparison set: fixed α ∈ {0.2, 0.4, base}, then the
+/// gossip-fed fraction heuristic and model policy at the base α, then the
+/// model policy on the centralized oracle (the staleness-free reference).
+[[nodiscard]] std::vector<AlphaVariant> dynamic_alpha_variants(
+    double base_alpha);
+
+/// medians[v][r] = median over `seeds` of the total virtual seconds of
+/// variant v at rock_counts[r] strongly erodible rocks (ULBA method
+/// throughout; `iterations` ≤ 0 keeps the scaled config's default horizon).
+[[nodiscard]] std::vector<std::vector<double>> dynamic_alpha_grid(
+    std::span<const AlphaVariant> variants,
+    std::span<const std::int64_t> rock_counts, std::int64_t pe_count,
+    std::span<const std::uint64_t> seeds, std::int64_t iterations);
 
 }  // namespace ulba::cli

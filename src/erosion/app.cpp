@@ -3,16 +3,111 @@
 #include <algorithm>
 #include <numeric>
 #include <optional>
+#include <span>
 
 #include "bsp/machine.hpp"
 #include "core/detector.hpp"
 #include "core/gossip.hpp"
+#include "core/intervals.hpp"
+#include "core/schedule.hpp"
 #include "core/trigger.hpp"
+#include "erosion/sharded_domain.hpp"
 #include "lb/driver.hpp"
 #include "lb/stripe_partitioner.hpp"
 #include "support/require.hpp"
 
 namespace ulba::erosion {
+
+AlphaPolicy alpha_policy_from_name(const std::string& name) {
+  if (name == "fixed") return AlphaPolicy::kFixed;
+  if (name == "fraction") return AlphaPolicy::kGossipFraction;
+  if (name == "model") return AlphaPolicy::kGossipModel;
+  throw std::invalid_argument("unknown alpha policy '" + name +
+                              "' (accepted: fixed, fraction, model)");
+}
+
+std::string alpha_policy_name(AlphaPolicy policy) {
+  switch (policy) {
+    case AlphaPolicy::kFixed:
+      return "fixed";
+    case AlphaPolicy::kGossipFraction:
+      return "fraction";
+    case AlphaPolicy::kGossipModel:
+      return "model";
+  }
+  return "fixed";
+}
+
+namespace {
+
+/// AlphaPolicy::kGossipFraction — shrink the base α as the detected
+/// overloading fraction grows (Eq. (11)'s overhead is ∝ αN/(P−N)); vanish
+/// at the 50 % fallback boundary. One definition serves both the per-PE
+/// application and the main-PE trace so they can never drift apart.
+double fraction_alpha(double base_alpha, std::int64_t n_hat,
+                      std::int64_t pe_count) {
+  return base_alpha * std::max(0.0, 1.0 - 2.0 * static_cast<double>(n_hat) /
+                                        static_cast<double>(pe_count));
+}
+
+/// AlphaPolicy::kGossipModel — pick the α the analytic model recommends for
+/// the REMAINING run, from one PE's (possibly stale) database view: estimate
+/// (N̂, â, m̂) by splitting the WIR population at the detector's flags, bind
+/// them to the live observables (Wtot, average LB cost, remaining γ), and
+/// grid-search α over {0, 0.1, …, 1} with the σ⁺ schedule as the predicted
+/// execution — the runtime counterpart of opt::optimal_alpha_schedule's grid.
+double model_grid_alpha(const core::OverloadDetector& detector,
+                        std::span<const double> view, std::int64_t pe_count,
+                        std::int64_t remaining_iterations, double wtot,
+                        double flops, double lb_cost_avg) {
+  const auto flags = detector.flags(view);
+  double over_sum = 0.0, base_sum = 0.0;
+  std::int64_t n_hat = 0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (flags[i]) {
+      ++n_hat;
+      over_sum += view[i];
+    } else {
+      base_sum += view[i];
+    }
+  }
+  // Degenerate estimates fall back to α = 0 (standard behavior): nobody
+  // overloads, the ≥50 % rule would demote the step anyway, or the horizon
+  // is too short for an interval model to mean anything.
+  if (n_hat == 0 || 2 * n_hat >= pe_count || remaining_iterations < 2)
+    return 0.0;
+  const double a_est =
+      base_sum / static_cast<double>(pe_count - n_hat);
+  const double m_est =
+      std::max(0.0, over_sum / static_cast<double>(n_hat) - a_est);
+
+  core::ModelParams est;
+  est.P = pe_count;
+  est.N = n_hat;
+  est.gamma = remaining_iterations;
+  est.w0 = wtot;
+  est.a = a_est;
+  est.m = m_est;
+  est.omega = flops;
+  est.lb_cost = lb_cost_avg;
+
+  est.alpha = 0.0;
+  double best_alpha = 0.0;
+  double best =
+      core::evaluate_standard(est, core::menon_schedule(est)).total_seconds;
+  for (int g = 1; g <= 10; ++g) {
+    est.alpha = static_cast<double>(g) / 10.0;
+    const double t =
+        core::evaluate_ulba(est, core::sigma_plus_schedule(est)).total_seconds;
+    if (t < best) {
+      best = t;
+      best_alpha = est.alpha;
+    }
+  }
+  return best_alpha;
+}
+
+}  // namespace
 
 void AppConfig::validate() const {
   ULBA_REQUIRE(pe_count >= 2, "need at least two PEs");
@@ -37,6 +132,8 @@ void AppConfig::validate() const {
                "WIR smoothing factor must lie in (0, 1]");
   ULBA_REQUIRE(lb_period >= 1, "LB period must be at least one iteration");
   ULBA_REQUIRE(threads >= 1, "need at least one stepping thread");
+  ULBA_REQUIRE(shards >= 1 && shards <= pe_count,
+               "shard count must lie in [1, pe_count]");
   (void)lb::make_partitioner(partitioner);  // throws on unknown names
   comm.validate();
 }
@@ -84,12 +181,25 @@ RunResult ErosionApp::run() const {
   support::Rng dynamics_rng = root.fork(1);
   support::Rng gossip_rng = root.fork(2);
 
-  ErosionDomain domain(make_domain());
+  // One partitioner serves both the centralized LB technique's cuts and the
+  // host-side disc-to-shard assignment of the sharded stepper.
+  const std::shared_ptr<const lb::Partitioner> partitioner(
+      lb::make_partitioner(config_.partitioner));
+  // shards == 1 keeps the historical unsharded paths (and their RNG
+  // trajectories); shards > 1 steps through ShardedDomain, whose trajectory
+  // is bit-identical to the serial shared-stream stepper regardless of the
+  // shard/thread counts.
+  std::optional<ErosionDomain> plain;
+  std::optional<ShardedDomain> sharded;
+  if (config_.shards > 1)
+    sharded.emplace(make_domain(), config_.shards, partitioner);
+  else
+    plain.emplace(make_domain());
+  const ErosionDomain& domain = sharded ? sharded->domain() : *plain;
+
   bsp::Machine machine(P, config_.flops, config_.comm);
   lb::CentralizedLb balancer(config_.comm, config_.flops);
-  balancer.set_partitioner(
-      std::shared_ptr<const lb::Partitioner>(
-          lb::make_partitioner(config_.partitioner)));
+  balancer.set_partitioner(partitioner);
   core::GossipNetwork gossip(P, config_.gossip_fanout);
   const core::OverloadDetector detector(config_.zscore_threshold);
   core::AdaptiveTrigger trigger;
@@ -155,10 +265,16 @@ RunResult ErosionApp::run() const {
     if (!config_.oracle_wir) gossip.step(gossip_rng);
 
     // --- application dynamics (independent of every LB decision)
-    if (pool)
-      domain.step(dynamics_rng, *pool);
-    else
-      domain.step(dynamics_rng);
+    if (sharded) {
+      if (pool)
+        sharded->step(dynamics_rng, *pool);
+      else
+        sharded->step(dynamics_rng);
+    } else if (pool) {
+      plain->step(dynamics_rng, *pool);
+    } else {
+      plain->step(dynamics_rng);
+    }
 
     // --- adaptive trigger (Algorithm 1 / Zhai-style degradation)
     trigger.record_iteration(report.seconds);
@@ -196,24 +312,53 @@ RunResult ErosionApp::run() const {
     }
     if (!last_iteration && balance_now) {
       // Algorithm 1, lines 17–23: each PE classifies itself from its own
-      // (gossip-fed, possibly stale) database view.
+      // (gossip-fed, possibly stale) database view; the α it applies comes
+      // from the configured AlphaPolicy (E-X4).
       std::vector<double> alphas(static_cast<std::size_t>(P), 0.0);
+      double step_alpha = 0.0;
       if (config_.method == Method::kUlba) {
+        // kGossipModel's α is chosen once at the main PE (whose database the
+        // centralized LB step gathers at anyway) and broadcast; the other
+        // policies are evaluated per PE against its own view.
+        double model_alpha = 0.0;
+        if (config_.alpha_policy == AlphaPolicy::kGossipModel) {
+          model_alpha = model_grid_alpha(
+              detector, gossip.database(0).wirs(), P,
+              config_.iterations - (iter + 1), domain.total_workload(),
+              config_.flops, lb_cost.average());
+        }
         for (std::int64_t p = 0; p < P; ++p) {
           const auto i = static_cast<std::size_t>(p);
           const auto view = gossip.database(p).wirs();
-          if (detector.is_overloading(wir[i], view)) {
-            double a = config_.alpha;
-            if (config_.dynamic_alpha) {
-              // E-X4: shrink α as the detected overloading fraction grows
-              // (Eq. (11)'s overhead is ∝ αN/(P−N)); vanish at the 50 %
-              // fallback boundary.
-              const std::int64_t n_hat = detector.count_overloading(view);
-              a *= std::max(0.0, 1.0 - 2.0 * static_cast<double>(n_hat) /
-                                           static_cast<double>(P));
-            }
-            alphas[i] = a;
+          if (!detector.is_overloading(wir[i], view)) continue;
+          double a = config_.alpha;
+          switch (config_.alpha_policy) {
+            case AlphaPolicy::kFixed:
+              break;
+            case AlphaPolicy::kGossipFraction:
+              a = fraction_alpha(config_.alpha,
+                                 detector.count_overloading(view), P);
+              break;
+            case AlphaPolicy::kGossipModel:
+              a = model_alpha;
+              break;
           }
+          alphas[i] = a;
+        }
+        // Report the α the main PE's view implies, whether or not PE 0
+        // itself overloads — the per-interval trace of `lb_alphas`.
+        switch (config_.alpha_policy) {
+          case AlphaPolicy::kFixed:
+            step_alpha = config_.alpha;
+            break;
+          case AlphaPolicy::kGossipFraction:
+            step_alpha = fraction_alpha(
+                config_.alpha,
+                detector.count_overloading(gossip.database(0).wirs()), P);
+            break;
+          case AlphaPolicy::kGossipModel:
+            step_alpha = model_alpha;
+            break;
         }
       }
       const auto lb_step = balancer.step(alphas, domain.column_weights(),
@@ -227,7 +372,17 @@ RunResult ErosionApp::run() const {
       ++result.lb_count;
       result.lb_seconds += lb_step.cost.total();
       result.lb_iterations.push_back(iter);
+      result.lb_alphas.push_back(step_alpha);
       rec.lb_performed = true;
+      if (sharded) {
+        // Re-shard the host-side stepping against the freshly balanced
+        // weights — the boundary workload deltas move with the LB step. The
+        // trajectory is shard-invariant, so this only affects host
+        // parallelism and the reported migration accounting.
+        const ReshardResult reshard = sharded->rebalance();
+        result.shard_discs_moved += reshard.discs_moved;
+        result.shard_migration_bytes += reshard.migration.total_bytes;
+      }
     }
 
     result.compute_seconds += report.seconds;

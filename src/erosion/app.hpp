@@ -32,6 +32,31 @@ enum class Method {
   kUlba,      ///< anticipatory underloading with the configured α
 };
 
+/// How ULBA picks the α applied at each LB step (E-X4, the paper's §V
+/// future-work item of adjusting α during execution). All runtime policies
+/// feed on the gossip-estimated WIR databases — the same possibly-stale
+/// knowledge a real decentralized deployment would have.
+enum class AlphaPolicy {
+  /// α = AppConfig::alpha at every step (the paper's experiments).
+  kFixed,
+  /// Shrink α as the detected overloading fraction grows — the Eq. (11)
+  /// overhead is ∝ αN/(P−N):  α_eff = α·max(0, 1 − 2·N̂/P), per each PE's
+  /// own database view; vanishes at the 50 % fallback boundary.
+  kGossipFraction,
+  /// Per-interval grid search over the analytic model: the main PE estimates
+  /// (N̂, â, m̂) from its WIR database, plugs them into ModelParams together
+  /// with the live (Wtot, C, remaining γ), and picks the α ∈ {0, 0.1, …, 1}
+  /// whose σ⁺ schedule minimizes the predicted remaining time. The grid
+  /// mirrors opt::default_alpha_grid() — the runtime half of the exact
+  /// dynamic-α DP (opt::optimal_alpha_schedule).
+  kGossipModel,
+};
+
+/// Parse "fixed" | "fraction" | "model" (the `--alpha-policy` vocabulary);
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] AlphaPolicy alpha_policy_from_name(const std::string& name);
+[[nodiscard]] std::string alpha_policy_name(AlphaPolicy policy);
+
 /// When to invoke the load balancer (the ablation knob of E-X2; the paper
 /// always uses the adaptive trigger).
 enum class TriggerMode {
@@ -79,14 +104,23 @@ struct AppConfig {
   TriggerMode trigger_mode = TriggerMode::kAdaptive;
   std::int64_t lb_period = 50;  ///< used by TriggerMode::kPeriodic
 
-  /// Cutting algorithm for the centralized LB technique: "greedy-scan" (the
-  /// paper's §IV-B stripe technique), "rcb", or "optimal-ratio" (E-X5).
+  /// Cutting algorithm, by lb::make_partitioner name: "greedy" (the paper's
+  /// §IV-B stripe technique), "rcb", "optimal" (E-X5), or "stripe" (even
+  /// widths). Drives BOTH the centralized LB technique's cuts and — when
+  /// `shards` > 1 — the disc-to-shard assignment of the sharded stepper.
   std::string partitioner = "greedy-scan";
 
-  /// E-X4 extension (the paper's future-work item): scale each overloading
-  /// PE's α down as the detected overloading fraction grows, reflecting the
-  /// Eq. (11) overhead being ∝ αN/(P−N):  α_eff = α·max(0, 1 − 2·N̂/P).
-  bool dynamic_alpha = false;
+  /// Host-side shards stepping the erosion dynamics (erosion::ShardedDomain).
+  /// 1 = the unsharded classic paths (serial shared stream, or the per-disc
+  /// substream pool when `threads` > 1). K > 1 splits the discs across K
+  /// shards cut by `partitioner` and re-shards at every LB step; the
+  /// trajectory is bit-identical to the serial shared-stream stepper for
+  /// every (K, partitioner, threads) combination.
+  std::int64_t shards = 1;
+
+  /// E-X4 extension (the paper's future-work item): how ULBA adapts α at
+  /// each LB step from the gossip-estimated overloading state.
+  AlphaPolicy alpha_policy = AlphaPolicy::kFixed;
 
   void validate() const;
 
@@ -115,6 +149,14 @@ struct RunResult {
   double final_imbalance = 0.0;  ///< max/avg stripe load at the end
   std::vector<IterationRecord> iterations;
   std::vector<std::int64_t> lb_iterations;
+  /// α applied at each LB step, from the main PE's database view (parallel
+  /// to lb_iterations). config.alpha under AlphaPolicy::kFixed; what the
+  /// policy chose otherwise. Always 0 under Method::kStandard.
+  std::vector<double> lb_alphas;
+  /// Sharded stepping only (shards > 1): discs that changed shard across all
+  /// re-shard steps, and the summed migration volume those moves would cost.
+  std::int64_t shard_discs_moved = 0;
+  double shard_migration_bytes = 0.0;
 };
 
 class ErosionApp {

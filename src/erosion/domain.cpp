@@ -235,4 +235,9 @@ std::int64_t ErosionDomain::disc_rock_remaining(std::size_t disc) const {
   return discs_[disc].rock_remaining;
 }
 
+std::int64_t ErosionDomain::disc_frontier_size(std::size_t disc) const {
+  ULBA_REQUIRE(disc < discs_.size(), "disc index out of range");
+  return static_cast<std::int64_t>(discs_[disc].frontier.size());
+}
+
 }  // namespace ulba::erosion

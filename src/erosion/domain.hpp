@@ -89,7 +89,22 @@ class ErosionDomain {
   [[nodiscard]] std::int64_t frontier_size() const noexcept;
   [[nodiscard]] std::int64_t disc_rock_remaining(std::size_t disc) const;
 
+  [[nodiscard]] std::size_t disc_count() const noexcept {
+    return discs_.size();
+  }
+  /// Current frontier size of one disc. This is also EXACTLY the number of
+  /// RNG draws `step(rng)` spends on the disc (every frontier cell has at
+  /// least one fluid face, so the `trials == 0` skip never fires) — the
+  /// invariant ShardedDomain's stream-splitting discipline is built on, and
+  /// that the sharded property suite locks down.
+  [[nodiscard]] std::int64_t disc_frontier_size(std::size_t disc) const;
+
  private:
+  // ShardedDomain drives the decide/apply/commit phases across shards while
+  // preserving this class's serial trajectory; it is the one external user of
+  // the phase methods below.
+  friend class ShardedDomain;
+
   enum class Cell : std::uint8_t {
     kOutside = 0,       ///< inside the bounding box but not rock (fluid)
     kRockInterior = 1,  ///< rock with no fluid contact yet

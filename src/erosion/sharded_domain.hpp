@@ -1,0 +1,116 @@
+// Sharded erosion domain — the multi-node scale-up of the erosion workload.
+//
+// The discs of one ErosionDomain are split across K shards by any pluggable
+// lb::Partitioner: the partitioner cuts the per-column workload into K
+// stripes (even targets), and a disc belongs to the shard whose stripe holds
+// its center column. Shards then step their discs concurrently on a
+// support::ThreadPool.
+//
+// Determinism contract — the load-bearing property the partition-invariance
+// suite (tests/test_sharded_erosion.cpp) locks down: a sharded step is
+// BIT-IDENTICAL to the serial shared-stream `ErosionDomain::step(rng)`, for
+// every (shard count, partitioner, thread count) combination, including the
+// master RNG's post-step state. Three disciplines make that possible:
+//
+//   1. Stream split (serial, disc order). `decide_disc` consumes exactly one
+//      Bernoulli draw per frontier cell (every frontier cell has ≥ 1 fluid
+//      face, and fluid never reverts to rock — see
+//      ErosionDomain::disc_frontier_size). So the master stream position at
+//      which disc i starts drawing is known BEFORE any decision is taken:
+//      snapshot a copy of the master per disc, then advance the master by
+//      frontier-size draws. Bernoulli engine consumption is independent of
+//      the success probability, so burning with a fixed p reproduces the
+//      exact engine state the serial stepper would reach.
+//   2. Decide + apply (parallel over shards). Disc state is disc-local
+//      (discs are pairwise disjoint by construction), and each disc draws
+//      from its own positioned snapshot — scheduling cannot reorder draws.
+//   3. Commit (serial, disc order). The shared per-column FLOP accounting is
+//      summed in the serial order, so floating-point results are bit-equal.
+//
+// Because the trajectory is invariant to the assignment, re-sharding is free
+// of simulation drift: `rebalance()` recuts against the CURRENT weights and
+// exchanges disc ownership (the boundary workload deltas), reporting the
+// migration volume the move would cost on a real machine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "erosion/domain.hpp"
+#include "lb/migration.hpp"
+#include "lb/partitioners.hpp"
+#include "lb/stripe_partitioner.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ulba::erosion {
+
+/// Outcome of one re-sharding step (the boundary-delta exchange).
+struct ReshardResult {
+  lb::StripeBoundaries boundaries;  ///< the new shard → column-range map
+  std::int64_t discs_moved = 0;     ///< discs that changed shard ownership
+  lb::MigrationVolume migration;    ///< bytes the move costs (per shard/max)
+};
+
+class ShardedDomain {
+ public:
+  /// Shard `config`'s discs into `shard_count` stripes cut by `partitioner`
+  /// (shared so several domains can reuse one). `shard_count` must lie in
+  /// [1, columns]; the initial cut is taken against the initial weights.
+  ShardedDomain(DomainConfig config, std::int64_t shard_count,
+                std::shared_ptr<const lb::Partitioner> partitioner);
+
+  /// One erosion iteration, shards stepped serially (still in the sharded
+  /// decide/commit discipline — bit-identical to the pool overload).
+  std::int64_t step(support::Rng& rng);
+
+  /// One erosion iteration, shards stepped across `pool`. Bit-identical to
+  /// `ErosionDomain::step(rng)` on an unsharded copy, for every pool size.
+  std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
+
+  /// Recut the shard stripes against the current column weights (even
+  /// targets) and exchange disc ownership accordingly. The stepping
+  /// trajectory is unaffected — only host-side parallelism and the reported
+  /// migration volume change.
+  ReshardResult rebalance();
+
+  /// The underlying domain (weights, totals, erosion observers).
+  [[nodiscard]] const ErosionDomain& domain() const noexcept {
+    return domain_;
+  }
+
+  [[nodiscard]] std::int64_t shard_count() const noexcept {
+    return static_cast<std::int64_t>(shard_discs_.size());
+  }
+  [[nodiscard]] const lb::Partitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+  /// Current shard → column-range boundaries (size shard_count + 1).
+  [[nodiscard]] const lb::StripeBoundaries& boundaries() const noexcept {
+    return boundaries_;
+  }
+  /// Global disc indices owned by `shard`, ascending.
+  [[nodiscard]] std::span<const std::size_t> discs_of_shard(
+      std::int64_t shard) const;
+  /// The shard owning disc `disc`.
+  [[nodiscard]] std::int64_t shard_of_disc(std::size_t disc) const;
+  /// Summed column weight per shard — the host-side stepping balance.
+  [[nodiscard]] std::vector<double> shard_loads() const;
+
+ private:
+  /// Recompute shard_discs_/disc_shard_ from boundaries_.
+  void assign_discs();
+  /// Phase 1+2 for every disc of one shard (snapshots positioned upstream).
+  void decide_and_apply_shard(std::size_t shard, std::span<support::Rng> rngs,
+                              std::vector<std::vector<std::int32_t>>& erode);
+
+  ErosionDomain domain_;
+  std::shared_ptr<const lb::Partitioner> partitioner_;
+  lb::StripeBoundaries boundaries_;
+  std::vector<std::vector<std::size_t>> shard_discs_;
+  std::vector<std::int64_t> disc_shard_;
+};
+
+}  // namespace ulba::erosion

@@ -45,9 +45,20 @@ LbStepResult CentralizedLb::step(std::span<const double> alphas,
   // Algorithm 2, lines 4–7: every PE sends α to the main PE.
   out.assignment = core::compute_lb_weights(alphas, wtot);
 
-  // Lines 8–15: weight targets → stripe cut against the column weights.
-  out.boundaries =
-      partitioner_->partition(column_weights, out.assignment.fractions);
+  // Lines 8–15: weight targets → stripe cut against the column weights. A
+  // stripe partitioner cannot realize a zero target (every stripe owns at
+  // least one column by contract), so an α = 1 PE's empty share is floored
+  // to a tiny positive fraction and the set renormalized: "remove the whole
+  // balanced share" degrades gracefully to "keep the minimum stripe".
+  std::vector<double> fractions = out.assignment.fractions;
+  constexpr double kMinFraction = 1e-9;
+  double fraction_sum = 0.0;
+  for (double& f : fractions) {
+    f = std::max(f, kMinFraction);
+    fraction_sum += f;
+  }
+  for (double& f : fractions) f /= fraction_sum;
+  out.boundaries = partitioner_->partition(column_weights, fractions);
 
   // Lines 16–20: broadcast the partition, migrate the data.
   out.migration = migration_volume(current, out.boundaries, column_bytes);

@@ -201,12 +201,32 @@ double bottleneck_ratio(std::span<const double> column_weights,
   return worst;
 }
 
+StripeBoundaries EvenStripePartitioner::partition(
+    std::span<const double> column_weights,
+    std::span<const double> target_fractions) const {
+  check_inputs(column_weights, target_fractions);
+  return even_partition(static_cast<std::int64_t>(column_weights.size()),
+                        static_cast<std::int64_t>(target_fractions.size()));
+}
+
 std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
-  if (name == "greedy-scan") return std::make_unique<GreedyScanPartitioner>();
+  if (name == "greedy" || name == "greedy-scan")
+    return std::make_unique<GreedyScanPartitioner>();
   if (name == "rcb") return std::make_unique<RcbPartitioner>();
-  if (name == "optimal-ratio")
+  if (name == "optimal" || name == "optimal-ratio")
     return std::make_unique<OptimalRatioPartitioner>();
-  throw std::invalid_argument("unknown partitioner: " + name);
+  if (name == "stripe") return std::make_unique<EvenStripePartitioner>();
+  std::string accepted;
+  for (const std::string& n : partitioner_names())
+    accepted += (accepted.empty() ? "" : ", ") + n;
+  throw std::invalid_argument("unknown partitioner '" + name +
+                              "' (accepted: " + accepted + ")");
+}
+
+const std::vector<std::string>& partitioner_names() {
+  static const std::vector<std::string> kNames{"greedy", "rcb", "optimal",
+                                               "stripe"};
+  return kNames;
 }
 
 }  // namespace ulba::lb

@@ -18,13 +18,18 @@
 //                                bottleneck with a greedy feasibility test).
 //                                This is the best any stripe LB could do for
 //                                given Algorithm-2 targets.
+//   * EvenStripePartitioner    — weight-agnostic even column widths (the
+//                                static decomposition every run starts from).
+//                                The §II strawman baseline: cutting that
+//                                ignores both the weights and the targets.
 //
-// All three return boundaries with non-empty stripes covering every column.
+// All return boundaries with non-empty stripes covering every column.
 #pragma once
 
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "lb/stripe_partitioner.hpp"
 
@@ -77,6 +82,17 @@ class OptimalRatioPartitioner final : public Partitioner {
   double ratio_tolerance_;
 };
 
+/// Weight- and target-agnostic even column widths (`even_partition`) behind
+/// the Partitioner interface, so "no load balancing at all" plugs into every
+/// sweep/shard site that takes a pluggable partitioner.
+class EvenStripePartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] StripeBoundaries partition(
+      std::span<const double> column_weights,
+      std::span<const double> target_fractions) const override;
+  [[nodiscard]] std::string name() const override { return "stripe"; }
+};
+
 /// Quality metric every partitioner is judged by: the bottleneck ratio
 /// max_p load_p / (target_p · total). 1.0 means the targets are met exactly;
 /// the slowest PE finishes bottleneck_ratio× later than intended.
@@ -84,8 +100,14 @@ class OptimalRatioPartitioner final : public Partitioner {
                                       std::span<const double> target_fractions,
                                       const StripeBoundaries& b);
 
-/// Factory by name ("greedy-scan", "rcb", "optimal-ratio").
+/// Factory by canonical name ("greedy", "rcb", "optimal", "stripe") or the
+/// historical long spellings ("greedy-scan", "optimal-ratio"). Throws
+/// std::invalid_argument on anything else, naming the accepted set.
 [[nodiscard]] std::unique_ptr<Partitioner> make_partitioner(
     const std::string& name);
+
+/// The canonical partitioner names `make_partitioner` accepts, in display
+/// order — for CLI help texts, validation messages, and sweep drivers.
+[[nodiscard]] const std::vector<std::string>& partitioner_names();
 
 }  // namespace ulba::lb

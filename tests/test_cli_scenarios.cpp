@@ -100,6 +100,27 @@ TEST(CliGolden, ErosionThreaded) {
   EXPECT_EQ(normalize(run_cli(base("2"))), normalize(run_cli(base("8"))));
 }
 
+TEST(CliGolden, ErosionSharded) {
+  // The sharded stepper: 4 shards cut by RCB on a 2-thread pool. The
+  // virtual-time numbers are bit-identical to the unsharded serial run (see
+  // ShardedReportMatchesSerialReport below); the golden additionally pins
+  // the sharding header and the re-shard accounting.
+  expect_matches_golden(
+      "erosion_sharded",
+      {"erosion", "--pes", "16", "--iterations", "60", "--columns-per-pe",
+       "48", "--rows", "64", "--rock-radius", "16", "--seed", "3", "--shards",
+       "4", "--partitioner", "rcb", "--threads", "2"});
+}
+
+TEST(CliGolden, DynamicAlpha) {
+  // 120 iterations keep the run fast while giving the model policy a long
+  // enough horizon to pick a nonzero α mid-run (the trace in the golden).
+  expect_matches_golden(
+      "dynamic_alpha",
+      {"dynamic-alpha", "--pes", "16", "--seeds", "1", "--iterations", "120",
+       "--rocks", "2", "--instances", "10"});
+}
+
 TEST(CliGolden, Intervals) {
   expect_matches_golden("intervals", {"intervals", "--gamma", "40",
                                       "--alpha-steps", "4"});
@@ -120,6 +141,39 @@ TEST(CliGolden, Gossip) {
 TEST(CliGolden, Instances) {
   expect_matches_golden("instances", {"instances", "--samples", "40",
                                       "--alpha-grid", "10"});
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariance at the report level: the sharded run's report equals
+// the serial run's, modulo the sharding-specific lines
+// ---------------------------------------------------------------------------
+TEST(CliScenarios, ShardedReportMatchesSerialReport) {
+  const std::vector<std::string> base{
+      "erosion", "--pes",        "16", "--iterations", "60",
+      "--columns-per-pe", "48",  "--rows", "64", "--rock-radius", "16",
+      "--seed", "3"};
+  const std::string serial = run_cli(base);
+  for (const char* shards : {"2", "4", "8"}) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), {"--shards", shards});
+    const std::string sharded = run_cli(args);
+    // Strip the sharding header and the re-shard accounting block — every
+    // remaining byte (all the virtual-time numbers) must match the serial
+    // report exactly.
+    const auto strip = [](const std::string& text) {
+      std::istringstream in(text);
+      std::string line, out;
+      while (std::getline(in, line)) {
+        if (line.find("sharded stepping") != std::string::npos ||
+            line.find("re-sharding") != std::string::npos ||
+            line.find("disc move(s)") != std::string::npos || line.empty())
+          continue;
+        out += line + "\n";
+      }
+      return out;
+    };
+    EXPECT_EQ(strip(serial), strip(sharded)) << "--shards " << shards;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -182,6 +236,51 @@ TEST(CliScenarios, ThreadsFlagIsValidatedAndExclusiveWithMt) {
   EXPECT_THROW(run({"erosion", "--mt", "--threads", "2"}, out),
                std::invalid_argument);
   EXPECT_THROW(run({"quickstart", "--threads", "-3"}, out),
+               std::invalid_argument);
+}
+
+TEST(CliScenarios, ShardsAndPartitionerFlagsAreValidated) {
+  std::ostringstream out;
+  // Invalid partitioner names are rejected up front, on every subcommand
+  // that takes the flag.
+  EXPECT_THROW(run({"erosion", "--partitioner", "metis"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"quickstart", "--partitioner", "frobnicate"}, out),
+               std::invalid_argument);
+  // Shard counts outside [1, 64] (and beyond the PE count) are rejected.
+  EXPECT_THROW(run({"erosion", "--shards", "0"}, out), std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--shards", "65"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--pes", "8", "--shards", "16"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"quickstart", "--shards", "-1"}, out),
+               std::invalid_argument);
+  // The sharded stepper drives the virtual-time path only.
+  EXPECT_THROW(run({"erosion", "--mt", "--shards", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--partitioner", "rcb"}, out),
+               std::invalid_argument);
+}
+
+TEST(CliScenarios, DynamicAlphaRejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"dynamic-alpha", "--frobnicate", "1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--pes", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--seeds", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--iterations", "4"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--alpha", "1.5"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--rocks", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--pes", "16", "--rocks", "8"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "--instances", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"dynamic-alpha", "positional"}, out),
                std::invalid_argument);
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -59,11 +60,40 @@ TEST(Partitioners, AllProduceValidBoundaries) {
 
 TEST(Partitioners, FactoryRejectsUnknownNames) {
   EXPECT_THROW((void)make_partitioner("metis"), std::invalid_argument);
+  // The error names the accepted set, so CLI users see their options.
+  try {
+    (void)make_partitioner("metis");
+    FAIL() << "expected make_partitioner to throw";
+  } catch (const std::invalid_argument& e) {
+    for (const std::string& name : partitioner_names())
+      EXPECT_NE(std::string(e.what()).find(name), std::string::npos) << name;
+  }
 }
 
 TEST(Partitioners, NamesRoundTrip) {
   for (const char* name : {"greedy-scan", "rcb", "optimal-ratio"})
     EXPECT_EQ(make_partitioner(name)->name(), name);
+}
+
+TEST(Partitioners, CanonicalNamesAndAliasesResolve) {
+  // Every canonical name constructs, and the short aliases map onto the
+  // historical long spellings.
+  for (const std::string& name : partitioner_names())
+    EXPECT_NO_THROW((void)make_partitioner(name)) << name;
+  EXPECT_EQ(make_partitioner("greedy")->name(),
+            make_partitioner("greedy-scan")->name());
+  EXPECT_EQ(make_partitioner("optimal")->name(),
+            make_partitioner("optimal-ratio")->name());
+  EXPECT_EQ(make_partitioner("stripe")->name(), "stripe");
+}
+
+TEST(Partitioners, EvenStripeIgnoresWeightsAndTargets) {
+  support::Rng rng(23);
+  std::vector<double> w(60);
+  for (double& x : w) x = rng.uniform(0.0, 9.0);
+  // Heavily skewed targets — the even-stripe baseline must not care.
+  const std::vector<double> f{0.7, 0.1, 0.1, 0.1};
+  EXPECT_EQ(EvenStripePartitioner{}.partition(w, f), even_partition(60, 4));
 }
 
 TEST(Partitioners, UniformCaseAllAgree) {

@@ -1,0 +1,227 @@
+// Partition-invariance property suite for erosion::ShardedDomain.
+//
+// The load-bearing claim of the sharded stepper: for EVERY (shard count,
+// partitioner, thread count) combination, the trajectory is bit-identical to
+// the serial shared-stream ErosionDomain::step(rng) — same per-column FLOP
+// accounting (exact floating-point equality, commit order preserved), same
+// erosion counters, and the same master-RNG post-run state. On top of that,
+// every partitioner must produce a complete, disjoint disc cover at
+// construction and after every rebalance.
+//
+// Domain configurations come from the shared randomized factory
+// (tests/test_helpers.hpp), so widening the tested envelope is a one-place
+// change.
+#include "erosion/sharded_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "erosion/domain.hpp"
+#include "lb/partitioners.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::erosion {
+namespace {
+
+std::shared_ptr<const lb::Partitioner> shared_partitioner(
+    const std::string& name) {
+  return std::shared_ptr<const lb::Partitioner>(lb::make_partitioner(name));
+}
+
+/// Assert shard_discs/shard_of_disc form a complete, disjoint cover of all
+/// discs, consistent with the stripe boundaries.
+void expect_complete_disjoint_cover(const ShardedDomain& sharded) {
+  const std::size_t n = sharded.domain().disc_count();
+  std::vector<int> owners(n, 0);
+  for (std::int64_t s = 0; s < sharded.shard_count(); ++s) {
+    for (const std::size_t disc : sharded.discs_of_shard(s)) {
+      ASSERT_LT(disc, n);
+      ++owners[disc];
+      EXPECT_EQ(sharded.shard_of_disc(disc), s);
+      // The owning stripe must hold the disc's center column.
+      const std::int64_t cx = sharded.domain().config().discs[disc].cx;
+      EXPECT_GE(cx, sharded.boundaries()[static_cast<std::size_t>(s)]);
+      EXPECT_LT(cx, sharded.boundaries()[static_cast<std::size_t>(s) + 1]);
+    }
+  }
+  for (std::size_t disc = 0; disc < n; ++disc)
+    EXPECT_EQ(owners[disc], 1) << "disc " << disc
+                               << " covered by " << owners[disc] << " shards";
+}
+
+/// Bitwise comparison of the full observable state of two domains plus the
+/// master streams that stepped them (drained a few draws to compare).
+void expect_bit_identical(const ErosionDomain& expected,
+                          const ErosionDomain& actual,
+                          support::Rng expected_rng, support::Rng actual_rng,
+                          const std::string& what) {
+  EXPECT_EQ(expected.eroded_cells(), actual.eroded_cells()) << what;
+  EXPECT_EQ(expected.rock_cells_remaining(), actual.rock_cells_remaining())
+      << what;
+  EXPECT_EQ(expected.frontier_size(), actual.frontier_size()) << what;
+  // total_ accumulates in commit order — must match EXACTLY, not merely
+  // approximately.
+  EXPECT_EQ(expected.total_workload(), actual.total_workload()) << what;
+  const auto w_exp = expected.column_weights();
+  const auto w_act = actual.column_weights();
+  ASSERT_EQ(w_exp.size(), w_act.size()) << what;
+  for (std::size_t x = 0; x < w_exp.size(); ++x)
+    ASSERT_EQ(w_exp[x], w_act[x]) << what << " — column " << x;
+  // The master stream must leave the run in the same state: the serial
+  // stepper's data-dependent draws and the sharded stepper's stream split
+  // must consume identical engine amounts.
+  for (int d = 0; d < 4; ++d)
+    ASSERT_EQ(expected_rng(), actual_rng()) << what << " — post-run draw "
+                                            << d;
+}
+
+TEST(ShardedErosion, PartitionerCoverIsCompleteAndDisjoint) {
+  support::Rng rng(2024);
+  for (int trial = 0; trial < 6; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(rng);
+    for (const std::string& name : lb::partitioner_names()) {
+      for (std::int64_t shards = 1; shards <= 8; ++shards) {
+        ShardedDomain sharded(cfg, shards, shared_partitioner(name));
+        ASSERT_EQ(sharded.shard_count(), shards);
+        expect_complete_disjoint_cover(sharded);
+      }
+    }
+  }
+}
+
+TEST(ShardedErosion, BitIdenticalToSerialForEveryShardPartitionerPool) {
+  constexpr int kSteps = 20;
+  support::Rng config_rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(trial);
+
+    // Serial shared-stream reference.
+    ErosionDomain reference(cfg);
+    support::Rng ref_rng(seed);
+    for (int s = 0; s < kSteps; ++s) (void)reference.step(ref_rng);
+
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const std::int64_t shards : {1, 2, 3, 5, 8}) {
+        for (const std::size_t threads : {1u, 4u}) {
+          ShardedDomain sharded(cfg, shards, shared_partitioner(name));
+          support::Rng rng(seed);
+          support::ThreadPool pool(threads);
+          std::int64_t eroded_total = 0;
+          for (int s = 0; s < kSteps; ++s)
+            eroded_total += sharded.step(rng, pool);
+          EXPECT_EQ(eroded_total, reference.eroded_cells());
+          expect_bit_identical(
+              reference, sharded.domain(), ref_rng, rng,
+              "trial " + std::to_string(trial) + ", partitioner " + name +
+                  ", shards " + std::to_string(shards) + ", threads " +
+                  std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedErosion, SerialOverloadMatchesPoolOverload) {
+  support::Rng config_rng(31);
+  const DomainConfig cfg = testing::random_domain_config(config_rng);
+  ShardedDomain a(cfg, 4, shared_partitioner("rcb"));
+  ShardedDomain b(cfg, 4, shared_partitioner("rcb"));
+  support::Rng rng_a(9), rng_b(9);
+  support::ThreadPool pool(5);
+  for (int s = 0; s < 15; ++s) {
+    EXPECT_EQ(a.step(rng_a), b.step(rng_b, pool));
+  }
+  expect_bit_identical(a.domain(), b.domain(), rng_a, rng_b,
+                       "serial vs pool overload");
+}
+
+TEST(ShardedErosion, RebalanceKeepsTrajectoryAndCover) {
+  support::Rng config_rng(5150);
+  for (int trial = 0; trial < 4; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 42 + static_cast<std::uint64_t>(trial);
+
+    ErosionDomain reference(cfg);
+    support::Rng ref_rng(seed);
+    for (int s = 0; s < 24; ++s) (void)reference.step(ref_rng);
+
+    ShardedDomain sharded(cfg, 3, shared_partitioner("greedy"));
+    support::Rng rng(seed);
+    support::ThreadPool pool(3);
+    for (int s = 0; s < 24; ++s) {
+      (void)sharded.step(rng, pool);
+      if (s % 6 == 5) {
+        // Re-sharding mid-run must not disturb the trajectory, and the new
+        // assignment must still be a complete disjoint cover.
+        const ReshardResult reshard = sharded.rebalance();
+        EXPECT_EQ(reshard.boundaries.size(), 4u);
+        EXPECT_GE(reshard.discs_moved, 0);
+        EXPECT_GE(reshard.migration.total_bytes, 0.0);
+        expect_complete_disjoint_cover(sharded);
+      }
+    }
+    expect_bit_identical(reference, sharded.domain(), ref_rng, rng,
+                         "rebalance trial " + std::to_string(trial));
+  }
+}
+
+TEST(ShardedErosion, ShardLoadsSumToTotalWorkload) {
+  support::Rng config_rng(808);
+  const DomainConfig cfg = testing::random_domain_config(config_rng);
+  ShardedDomain sharded(cfg, 5, shared_partitioner("optimal"));
+  support::Rng rng(3);
+  for (int s = 0; s < 10; ++s) (void)sharded.step(rng);
+  const auto loads = sharded.shard_loads();
+  ASSERT_EQ(loads.size(), 5u);
+  double sum = 0.0;
+  for (const double l : loads) sum += l;
+  EXPECT_NEAR(sum, sharded.domain().total_workload(),
+              1e-9 * sharded.domain().total_workload());
+}
+
+TEST(ShardedErosion, RejectsDegenerateShardCounts) {
+  support::Rng config_rng(99);
+  const DomainConfig cfg = testing::random_domain_config(config_rng);
+  EXPECT_THROW(ShardedDomain(cfg, 0, shared_partitioner("greedy")),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedDomain(cfg, cfg.columns + 1,
+                             shared_partitioner("greedy")),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedDomain(cfg, 2, nullptr), std::invalid_argument);
+}
+
+/// The frontier-equals-draw-count invariant the stream split is built on:
+/// the SERIAL stepper's data-dependent draw consumption per step equals the
+/// pre-step frontier sizes exactly (every frontier cell touches fluid, so
+/// the `trials == 0` skip in decide_disc never fires), and the consumption
+/// is independent of the erosion probabilities drawn against. Without this,
+/// ShardedDomain could not position the per-disc snapshots before deciding.
+TEST(ShardedErosion, SerialStepConsumesExactlyFrontierSizeDraws) {
+  support::Rng config_rng(123);
+  for (int trial = 0; trial < 4; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    ErosionDomain domain(cfg);
+    support::Rng rng(7 + static_cast<std::uint64_t>(trial));
+    for (int s = 0; s < 12; ++s) {
+      std::int64_t draws = 0;
+      for (std::size_t d = 0; d < domain.disc_count(); ++d)
+        draws += domain.disc_frontier_size(d);
+      support::Rng probe = rng;  // copies advance independently
+      for (std::int64_t i = 0; i < draws; ++i) (void)probe.bernoulli(0.5);
+      (void)domain.step(rng);
+      // The comparison draw advances both streams identically, so the loop
+      // stays aligned across steps.
+      ASSERT_EQ(probe(), rng()) << "trial " << trial << ", step " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ulba::erosion

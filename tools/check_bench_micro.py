@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Gate bench_micro's per-benchmark times against a recorded baseline.
+
+Usage:
+    ./bench_micro --benchmark_format=json --benchmark_out=bench_micro.json \
+        --benchmark_min_time=0.05
+    python3 tools/check_bench_micro.py bench_micro.json \
+        bench/baselines/bench_micro.json [--update]
+
+This is the second tier of the perf-gate story: tools/check_timing_smoke.py
+watches the integration suites' wall clock (catches "the whole app got
+slow"), while this gate watches the hot primitives themselves (catches "one
+kernel regressed 10x but the suite still finishes").
+
+A benchmark fails the gate when its measured cpu_time exceeds
+    max(max_factor * baseline_ns[name], floor_ns)
+— the generous factor absorbs runner-hardware variance between the recording
+machine and CI, the absolute floor keeps nanosecond-scale benchmarks from
+flapping on timer noise. Benchmarks present in the results but missing from
+the baseline fail the gate so the baseline stays in sync with bench_micro.cpp
+(regenerate with --update and review the diff like any other code change).
+"""
+
+import json
+import sys
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_measurements(results_path):
+    """name -> cpu_time in ns, plain iteration runs only (no aggregates)."""
+    with open(results_path, encoding="utf-8") as f:
+        results = json.load(f)
+    measured = {}
+    for bench in results.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        name = bench["name"]
+        scale = UNIT_TO_NS[bench.get("time_unit", "ns")]
+        measured[name] = float(bench["cpu_time"]) * scale
+    return measured
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--update"]
+    update = "--update" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_path, baseline_path = args
+
+    measured = load_measurements(results_path)
+    if not measured:
+        print(f"error: no benchmarks found in {results_path}", file=sys.stderr)
+        return 2
+
+    if update:
+        try:
+            with open(baseline_path, encoding="utf-8") as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            baseline = {"max_factor": 5.0, "floor_ns": 5000.0}
+        baseline["baseline_ns"] = {
+            name: round(ns, 1) for name, ns in sorted(measured.items())
+        }
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {len(measured)} benchmarks "
+              f"-> {baseline_path}")
+        return 0
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    max_factor = float(baseline["max_factor"])
+    floor_ns = float(baseline["floor_ns"])
+    expected = {k: float(v) for k, v in baseline["baseline_ns"].items()}
+
+    failures = []
+    for name, ns in sorted(measured.items()):
+        if name not in expected:
+            failures.append(f"{name}: no baseline recorded in {baseline_path}"
+                            " (regenerate with --update)")
+            continue
+        limit = max(max_factor * expected[name], floor_ns)
+        verdict = "ok" if ns <= limit else "REGRESSED"
+        print(f"  {name:42s} {ns:14.1f}ns  (baseline {expected[name]:.1f}ns,"
+              f" limit {limit:.1f}ns)  {verdict}")
+        if ns > limit:
+            failures.append(
+                f"{name}: {ns:.1f}ns exceeds limit {limit:.1f}ns "
+                f"({max_factor}x baseline {expected[name]:.1f}ns)")
+
+    for name in sorted(set(expected) - set(measured)):
+        print(f"  note: baseline entry '{name}' did not run", file=sys.stderr)
+
+    if failures:
+        print("\nbench_micro gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nbench_micro gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
