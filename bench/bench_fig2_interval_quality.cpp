@@ -6,14 +6,14 @@
 // worst −5.58 %, average −0.83 %; i.e. σ⁺ is a good analytic stand-in for a
 // numeric optimizer. We additionally report the exact DP optimum (an
 // extension the paper lacked) to bound both methods.
+//
+// The sweep lives in the shared cli::sweep layer, so this harness drives
+// the same implementation as `ulba_cli interval-quality` (which goldens a
+// smaller configuration byte-for-byte).
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/instance.hpp"
-#include "core/schedule.hpp"
-#include "opt/dp_optimal.hpp"
-#include "opt/schedule_problem.hpp"
 #include "support/histogram.hpp"
 #include "support/stats.hpp"
 
@@ -26,31 +26,10 @@ int main() {
 
   constexpr std::size_t kInstances = 1000;
   constexpr std::int64_t kSaSteps = 20000;
+  constexpr std::uint64_t kSeed = 1215;
 
-  struct Sample {
-    double gain_vs_sa = 0.0;   ///< (T_sa − T_σ⁺)/T_sa, >0 ⇒ σ⁺ better
-    double gap_vs_dp = 0.0;    ///< T_σ⁺/T_dp − 1, ≥ 0 by optimality
-    double sa_gap_vs_dp = 0.0; ///< T_sa/T_dp − 1
-  };
-
-  const auto samples = bench::parallel_map(kInstances, [&](std::size_t i) {
-    support::Rng rng = support::Rng(1215).fork(i);
-    const core::InstanceGenerator gen;
-    const core::ModelParams p = gen.sample(rng).params;
-
-    support::Rng sa_rng = rng.fork(1);
-    const auto sa =
-        opt::anneal_schedule(p, opt::CostModel::kUlba, sa_rng, kSaSteps);
-    const double t_sigma =
-        core::evaluate_ulba(p, core::sigma_plus_schedule(p)).total_seconds;
-    const auto dp = opt::optimal_schedule(p, opt::CostModel::kUlba);
-
-    Sample s;
-    s.gain_vs_sa = (sa.total_seconds - t_sigma) / sa.total_seconds;
-    s.gap_vs_dp = t_sigma / dp.total_seconds - 1.0;
-    s.sa_gap_vs_dp = sa.total_seconds / dp.total_seconds - 1.0;
-    return s;
-  });
+  const auto samples =
+      bench::interval_quality_sweep(kInstances, kSaSteps, kSeed);
 
   std::vector<double> gains, dp_gaps, sa_gaps;
   for (const auto& s : samples) {

@@ -31,8 +31,12 @@ std::string quickstart_help() {
          "[1]\n"
          "  --shards <int>       host shards stepping the mini erosion run "
          "[1]\n"
-         "  --partitioner <name> shard cutter: greedy|rcb|optimal|stripe "
-         "[greedy]\n\n" +
+         "  --ranks <int>        SPMD ranks stepping the mini erosion run "
+         "over the\n"
+         "                       message-passing runtime (exclusive with "
+         "--shards) [1]\n"
+         "  --partitioner <name> shard/stripe cutter: greedy|rcb|optimal|"
+         "stripe [greedy]\n\n" +
          model_param_help(quickstart_defaults());
 }
 
@@ -63,7 +67,15 @@ std::string erosion_help() {
          "(bit-identical\n"
          "                         to the serial run; not combinable with "
          "--mt)  [1]\n"
-         "  --partitioner <name>   disc-to-shard + LB cutting algorithm:\n"
+         "  --ranks <int>          SPMD ranks stepping the dynamics over the "
+         "message-\n"
+         "                         passing runtime: per-rank column stripes, "
+         "real halo/\n"
+         "                         migration messages, bit-identical to the "
+         "serial run\n"
+         "                         (exclusive with --shards and --mt)  [1]\n"
+         "  --partitioner <name>   disc-to-shard/rank + LB cutting "
+         "algorithm:\n"
          "                         greedy|rcb|optimal|stripe      [greedy]\n";
 }
 
@@ -114,6 +126,16 @@ std::string dynamic_alpha_help() {
          "  --alpha <0..1>      base/fixed ULBA fraction          [0.6]\n"
          "  --rocks <int>       largest strong-rock count swept   [6]\n"
          "  --instances <int>   DP-bound Table-II instances       [60]\n";
+}
+
+std::string interval_quality_help() {
+  return "Figure 2: quality of the sigma+ LB intervals vs. the heuristic "
+         "search\n(simulated annealing) on random Table-II instances, with "
+         "the exact DP\noptimum bounding both methods.\n\n"
+         "options:\n"
+         "  --instances <int>   Table-II instances sampled      [200]\n"
+         "  --sa-steps <int>    annealing steps per instance    [5000]\n"
+         "  --seed <int>        sampling seed                   [1215]\n";
 }
 
 std::string instances_help() {
@@ -167,6 +189,11 @@ const std::vector<Subcommand>& registry() {
        {},
        run_dynamic_alpha,
        dynamic_alpha_help},
+      {"interval-quality",
+       "Figure 2: sigma+ intervals vs. the heuristic search, DP-bounded",
+       {},
+       run_interval_quality,
+       interval_quality_help},
   };
   return kSubcommands;
 }

@@ -53,4 +53,9 @@ int run_instances(const FlagMap& flags, std::ostream& out);
 /// the exact model-level DP bound and a per-interval α trace.
 int run_dynamic_alpha(const FlagMap& flags, std::ostream& out);
 
+/// `interval-quality` — Figure 2: gain of the σ⁺ LB intervals over the
+/// simulated-annealing search on random Table-II instances, with the exact
+/// DP optimum bounding both methods.
+int run_interval_quality(const FlagMap& flags, std::ostream& out);
+
 }  // namespace ulba::cli

@@ -5,10 +5,14 @@
 #include <limits>
 #include <string>
 
+#include <chrono>
+
 #include "core/gossip.hpp"
+#include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "erosion/domain.hpp"
 #include "lb/partitioners.hpp"
+#include "opt/annealing.hpp"
 #include "opt/dp_alpha.hpp"
 #include "opt/dp_optimal.hpp"
 #include "support/require.hpp"
@@ -321,6 +325,97 @@ std::vector<std::vector<double>> dynamic_alpha_grid(
     }
   }
   return medians;
+}
+
+std::vector<IntervalQualitySample> interval_quality_sweep(
+    std::size_t instances, std::int64_t sa_steps, std::uint64_t seed) {
+  ULBA_REQUIRE(instances >= 1, "need at least one instance");
+  ULBA_REQUIRE(sa_steps >= 1, "need at least one annealing step");
+  return parallel_map(instances, [&](std::size_t i) {
+    support::Rng rng = support::Rng(seed).fork(i);
+    const core::InstanceGenerator gen;
+    const core::ModelParams p = gen.sample(rng).params;
+
+    support::Rng sa_rng = rng.fork(1);
+    const auto sa =
+        opt::anneal_schedule(p, opt::CostModel::kUlba, sa_rng, sa_steps);
+    const double t_sigma =
+        core::evaluate_ulba(p, core::sigma_plus_schedule(p)).total_seconds;
+    const auto dp = opt::optimal_schedule(p, opt::CostModel::kUlba);
+
+    IntervalQualitySample s;
+    s.gain_vs_sa = (sa.total_seconds - t_sigma) / sa.total_seconds;
+    s.gap_vs_dp = t_sigma / dp.total_seconds - 1.0;
+    s.sa_gap_vs_dp = sa.total_seconds / dp.total_seconds - 1.0;
+    return s;
+  });
+}
+
+namespace {
+
+/// Full bit-equality of two RunResults' trajectory-facing fields — the
+/// determinism verdict bench_distributed_erosion reports (the distributed
+/// accounting fields are deliberately excluded: they are additional by
+/// design).
+bool run_results_bit_equal(const erosion::RunResult& a,
+                           const erosion::RunResult& b) {
+  if (a.total_seconds != b.total_seconds ||
+      a.compute_seconds != b.compute_seconds ||
+      a.lb_seconds != b.lb_seconds || a.lb_count != b.lb_count ||
+      a.fallback_count != b.fallback_count ||
+      a.average_utilization != b.average_utilization ||
+      a.eroded_cells != b.eroded_cells ||
+      a.final_imbalance != b.final_imbalance ||
+      a.lb_iterations != b.lb_iterations || a.lb_alphas != b.lb_alphas ||
+      a.iterations.size() != b.iterations.size())
+    return false;
+  for (std::size_t i = 0; i < a.iterations.size(); ++i) {
+    const erosion::IterationRecord& x = a.iterations[i];
+    const erosion::IterationRecord& y = b.iterations[i];
+    if (x.seconds != y.seconds || x.utilization != y.utilization ||
+        x.lb_performed != y.lb_performed ||
+        x.degradation != y.degradation || x.threshold != y.threshold)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<DistributedScalingRow> distributed_erosion_scaling(
+    std::span<const std::int64_t> rank_counts,
+    std::span<const std::string> partitioners, std::int64_t pe_count,
+    std::int64_t strong_rocks, std::uint64_t seed, std::int64_t iterations) {
+  ULBA_REQUIRE(!rank_counts.empty() && !partitioners.empty(),
+               "scaling sweep needs rank counts and partitioners");
+  using Clock = std::chrono::steady_clock;
+  std::vector<DistributedScalingRow> rows;
+  for (const std::string& name : partitioners) {
+    erosion::AppConfig cfg = scaled_app_config(
+        pe_count, strong_rocks, erosion::Method::kUlba, seed);
+    if (iterations > 0) cfg.iterations = iterations;
+    cfg.partitioner = name;
+    const erosion::RunResult reference = erosion::ErosionApp(cfg).run();
+    for (const std::int64_t ranks : rank_counts) {
+      erosion::AppConfig rcfg = cfg;
+      rcfg.ranks = ranks;
+      const auto t0 = Clock::now();
+      const erosion::RunResult run = erosion::ErosionApp(rcfg).run();
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      DistributedScalingRow row;
+      row.ranks = ranks;
+      row.partitioner = name;
+      row.wall_seconds = wall;
+      row.virtual_seconds = run.total_seconds;
+      row.lb_count = run.lb_count;
+      row.discs_moved = run.rank_discs_moved;
+      row.observed_mb = run.rank_observed_bytes / 1e6;
+      row.matches_serial = run_results_bit_equal(run, reference) ? 1 : 0;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
 }
 
 }  // namespace ulba::cli

@@ -191,4 +191,53 @@ struct AlphaVariant {
     std::span<const std::int64_t> rock_counts, std::int64_t pe_count,
     std::span<const std::uint64_t> seeds, std::int64_t iterations);
 
+// ---------------------------------------------------------------------------
+// Fig-2 interval-quality sweep (ulba_cli interval-quality,
+// bench_fig2_interval_quality)
+// ---------------------------------------------------------------------------
+
+/// One Table-II instance's verdict on the σ⁺ intervals: gain over the
+/// simulated-annealing search, and both methods' distance from the exact DP
+/// optimum (all fractions; positive gain ⇒ σ⁺ beat the heuristic).
+struct IntervalQualitySample {
+  double gain_vs_sa = 0.0;    ///< (T_sa − T_σ⁺)/T_sa
+  double gap_vs_dp = 0.0;     ///< T_σ⁺/T_dp − 1, ≥ 0 by optimality
+  double sa_gap_vs_dp = 0.0;  ///< T_sa/T_dp − 1
+};
+
+/// Evaluate σ⁺ vs. an `sa_steps`-step annealing search vs. the exact DP on
+/// `instances` random Table-II instances (streams forked from `seed`).
+/// Deterministic; the unit behind the paper's Figure 2.
+[[nodiscard]] std::vector<IntervalQualitySample> interval_quality_sweep(
+    std::size_t instances, std::int64_t sa_steps, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Distributed-erosion scaling sweep (bench_distributed_erosion;
+// `erosion --ranks` drives the same ErosionApp implementation)
+// ---------------------------------------------------------------------------
+
+/// One (rank count, partitioner) cell of the distributed scaling sweep.
+struct DistributedScalingRow {
+  std::int64_t ranks = 0;
+  std::string partitioner;
+  double wall_seconds = 0.0;     ///< measured host wall clock of the run
+  double virtual_seconds = 0.0;  ///< RunResult::total_seconds (rank-invariant)
+  std::int64_t lb_count = 0;
+  std::int64_t discs_moved = 0;  ///< rank-ownership migrations, all LB steps
+  double observed_mb = 0.0;      ///< real migration payload on the wire [MB]
+  /// 1 when every trajectory-facing RunResult field (times, LB schedule,
+  /// per-step α's, per-iteration records) is bit-identical to the ranks = 1
+  /// reference — the determinism contract.
+  std::uint8_t matches_serial = 0;
+};
+
+/// Run the scaled erosion app distributed over every rank count ×
+/// partitioner combination and compare each RunResult bit-for-bit against
+/// the in-process reference. Runs sequentially (each cell already spawns
+/// `ranks` SPMD threads).
+[[nodiscard]] std::vector<DistributedScalingRow> distributed_erosion_scaling(
+    std::span<const std::int64_t> rank_counts,
+    std::span<const std::string> partitioners, std::int64_t pe_count,
+    std::int64_t strong_rocks, std::uint64_t seed, std::int64_t iterations);
+
 }  // namespace ulba::cli

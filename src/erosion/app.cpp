@@ -11,9 +11,11 @@
 #include "core/intervals.hpp"
 #include "core/schedule.hpp"
 #include "core/trigger.hpp"
+#include "erosion/distributed_domain.hpp"
 #include "erosion/sharded_domain.hpp"
 #include "lb/driver.hpp"
 #include "lb/stripe_partitioner.hpp"
+#include "runtime/spmd.hpp"
 #include "support/require.hpp"
 
 namespace ulba::erosion {
@@ -107,6 +109,345 @@ double model_grid_alpha(const core::OverloadDetector& detector,
   return best_alpha;
 }
 
+/// Prior LB-cost estimate: only the communication phases are predictable
+/// before the first step (migration volume and rebuild depend on the data).
+/// A deliberately low prior makes the first LB fire early — a cheap probing
+/// step whose measured cost then calibrates the running average, the same
+/// bootstrap Meta-Balancer-style systems use.
+double prior_lb_cost(const AppConfig& config, std::int64_t columns) {
+  const auto P = config.pe_count;
+  return config.comm.gather(static_cast<std::int64_t>(sizeof(double)), P) +
+         static_cast<double>(columns) * 8.0 / config.flops +
+         config.comm.broadcast(
+             static_cast<std::int64_t>((P + 1) * sizeof(std::int64_t)), P);
+}
+
+/// The virtual-time LB machinery of one run — monitoring (BSP supersteps +
+/// WIR + gossip), the adaptive trigger, and the centralized Algorithm-2 LB
+/// step — factored out of the stepping substrate so the in-process run and
+/// the SPMD-distributed run drive BIT-identical machinery: the distributed
+/// driver executes this controller on its main rank against gathered
+/// weights, which is why its RunResult equals the serial one exactly.
+///
+/// Call protocol per iteration:
+///   observe(iter, weights)                        — before the dynamics step
+///   should_balance(iter, total_workload)          — after the dynamics step
+///   balance(iter, weights, bytes, total_workload) — only when it said yes
+///   end_iteration()                               — always, last
+/// then take_result(weights, eroded) after the loop.
+class LbController {
+ public:
+  LbController(const AppConfig& config,
+               std::shared_ptr<const lb::Partitioner> partitioner,
+               std::int64_t columns)
+      : config_(config),
+        machine_(config.pe_count, config.flops, config.comm),
+        balancer_(config.comm, config.flops),
+        gossip_(config.pe_count, config.gossip_fanout),
+        detector_(config.zscore_threshold),
+        gossip_rng_(support::Rng(config.seed).fork(2)),
+        lb_cost_(prior_lb_cost(config, columns)),
+        boundaries_(lb::even_partition(columns, config.pe_count)),
+        // Gossip traffic per iteration: each PE pushes its P-entry database
+        // (16 bytes per entry) to `fanout` peers; pushes proceed
+        // concurrently, so one PE's cost is its own `fanout` sends. The
+        // oracle reference pays nothing — it models perfect knowledge, not
+        // a protocol.
+        gossip_seconds_(config.oracle_wir
+                            ? 0.0
+                            : static_cast<double>(config.gossip_fanout) *
+                                  config.comm.p2p(16 * config.pe_count)),
+        wir_(static_cast<std::size_t>(config.pe_count), 0.0) {
+    balancer_.set_partitioner(std::move(partitioner));
+    result_.iterations.reserve(static_cast<std::size_t>(config.iterations));
+  }
+
+  [[nodiscard]] const lb::StripeBoundaries& boundaries() const noexcept {
+    return boundaries_;
+  }
+  [[nodiscard]] RunResult& result() noexcept { return result_; }
+
+  /// Superstep + WIR monitoring + gossip round on the pre-step weights.
+  void observe(std::int64_t iter, std::span<const double> column_weights) {
+    const auto P = config_.pe_count;
+    const auto loads = lb::stripe_loads(column_weights, boundaries_);
+    const auto report = machine_.run_superstep(loads, gossip_seconds_);
+
+    // WIR monitoring (skipped on the iteration right after an LB step:
+    // stripe composition changed, the delta would measure migration, not
+    // application growth).
+    if (wir_valid_) {
+      for (std::int64_t p = 0; p < P; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        const double raw = std::max(0.0, loads[i] - prev_loads_[i]);
+        wir_[i] = config_.wir_smoothing * raw +
+                  (1.0 - config_.wir_smoothing) * wir_[i];
+        if (config_.oracle_wir)
+          gossip_.observe_oracle(p, wir_[i], iter);
+        else
+          gossip_.observe_local(p, wir_[i], iter);
+      }
+    }
+    prev_loads_ = loads;
+    wir_valid_ = true;
+    if (!config_.oracle_wir) gossip_.step(gossip_rng_);
+
+    pending_ = IterationRecord{};
+    pending_.seconds = report.seconds;
+    pending_.utilization = report.utilization;
+  }
+
+  /// Adaptive-trigger half (call after the dynamics stepped): true when this
+  /// iteration must end in an LB step.
+  [[nodiscard]] bool should_balance(std::int64_t iter, double total_workload) {
+    trigger_.record_iteration(pending_.seconds);
+    const double threshold = trigger_threshold(iter, total_workload);
+    pending_.degradation = trigger_.degradation();
+    pending_.threshold = threshold;
+
+    bool balance_now = false;
+    switch (config_.trigger_mode) {
+      case TriggerMode::kAdaptive:
+        balance_now = trigger_.should_balance(threshold);
+        break;
+      case TriggerMode::kPeriodic:
+        balance_now = (iter + 1) % config_.lb_period == 0;
+        break;
+      case TriggerMode::kNever:
+        balance_now = false;
+        break;
+    }
+    const bool last_iteration = iter + 1 >= config_.iterations;
+    return !last_iteration && balance_now;
+  }
+
+  /// The centralized LB step (Algorithm 1, lines 17–23): each PE classifies
+  /// itself from its own (gossip-fed, possibly stale) database view; the α
+  /// it applies comes from the configured AlphaPolicy (E-X4).
+  void balance(std::int64_t iter, std::span<const double> column_weights,
+               std::span<const double> column_bytes, double total_workload) {
+    const auto P = config_.pe_count;
+    std::vector<double> alphas(static_cast<std::size_t>(P), 0.0);
+    double step_alpha = 0.0;
+    if (config_.method == Method::kUlba) {
+      // kGossipModel's α is chosen once at the main PE (whose database the
+      // centralized LB step gathers at anyway) and broadcast; the other
+      // policies are evaluated per PE against its own view.
+      double model_alpha = 0.0;
+      if (config_.alpha_policy == AlphaPolicy::kGossipModel)
+        model_alpha = model_alpha_for(iter, total_workload);
+      for (std::int64_t p = 0; p < P; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        const auto view = gossip_.database(p).wirs();
+        if (!detector_.is_overloading(wir_[i], view)) continue;
+        double a = config_.alpha;
+        switch (config_.alpha_policy) {
+          case AlphaPolicy::kFixed:
+            break;
+          case AlphaPolicy::kGossipFraction:
+            a = fraction_alpha(config_.alpha,
+                               detector_.count_overloading(view), P);
+            break;
+          case AlphaPolicy::kGossipModel:
+            a = model_alpha;
+            break;
+        }
+        alphas[i] = a;
+      }
+      // Report the α the main PE's view implies, whether or not PE 0
+      // itself overloads — the per-interval trace of `lb_alphas`.
+      switch (config_.alpha_policy) {
+        case AlphaPolicy::kFixed:
+          step_alpha = config_.alpha;
+          break;
+        case AlphaPolicy::kGossipFraction:
+          step_alpha = fraction_alpha(
+              config_.alpha,
+              detector_.count_overloading(gossip_.database(0).wirs()), P);
+          break;
+        case AlphaPolicy::kGossipModel:
+          step_alpha = model_alpha;
+          break;
+      }
+    }
+    const auto lb_step = balancer_.step(alphas, column_weights, column_bytes,
+                                        boundaries_);
+    machine_.charge_global(lb_step.cost.total());
+    lb_cost_.observe(lb_step.cost.total());
+    trigger_.reset();
+    boundaries_ = lb_step.boundaries;
+    wir_valid_ = false;  // next delta would measure the migration
+    if (lb_step.assignment.fell_back_to_standard) ++result_.fallback_count;
+    ++result_.lb_count;
+    result_.lb_seconds += lb_step.cost.total();
+    result_.lb_iterations.push_back(iter);
+    result_.lb_alphas.push_back(step_alpha);
+    pending_.lb_performed = true;
+  }
+
+  /// Close the books on the current iteration.
+  void end_iteration() {
+    result_.compute_seconds += pending_.seconds;
+    result_.iterations.push_back(pending_);
+  }
+
+  [[nodiscard]] RunResult take_result(std::span<const double> column_weights,
+                                      std::int64_t eroded_cells) {
+    result_.total_seconds = machine_.elapsed_seconds();
+    result_.average_utilization = machine_.average_utilization();
+    result_.eroded_cells = eroded_cells;
+    result_.final_imbalance =
+        lb::load_imbalance(column_weights, boundaries_);
+    return std::move(result_);
+  }
+
+ private:
+  /// The model policy's grid-searched α for iteration `iter`, memoized: the
+  /// trigger-threshold evaluation and the LB step of one iteration see the
+  /// same gossip/cost state, so the (expensive) grid search runs once.
+  [[nodiscard]] double model_alpha_for(std::int64_t iter,
+                                       double total_workload) const {
+    if (model_alpha_iter_ != iter) {
+      model_alpha_memo_ = model_grid_alpha(
+          detector_, gossip_.database(0).wirs(), config_.pe_count,
+          config_.iterations - (iter + 1), total_workload, config_.flops,
+          lb_cost_.average());
+      model_alpha_iter_ = iter;
+    }
+    return model_alpha_memo_;
+  }
+
+  /// The α the configured policy would apply at this instant — fed into the
+  /// Eq. (11) trigger overhead so trigger and LB step agree (the ROADMAP
+  /// follow-up: previously the trigger always used the fixed base α even
+  /// when the LB step was about to apply a policy-chosen one).
+  [[nodiscard]] double policy_alpha(std::int64_t iter, double total_workload,
+                                    std::int64_t n_hat) const {
+    switch (config_.alpha_policy) {
+      case AlphaPolicy::kFixed:
+        return config_.alpha;
+      case AlphaPolicy::kGossipFraction:
+        return fraction_alpha(config_.alpha, n_hat, config_.pe_count);
+      case AlphaPolicy::kGossipModel:
+        return model_alpha_for(iter, total_workload);
+    }
+    return config_.alpha;
+  }
+
+  /// Eq. (11): average LB cost plus, for ULBA, the overhead the next
+  /// underloading step would impose on a non-overloading PE, estimated from
+  /// the main PE's WIR database at the policy's current α.
+  [[nodiscard]] double trigger_threshold(std::int64_t iter,
+                                         double total_workload) const {
+    double threshold = lb_cost_.average();
+    if (config_.method == Method::kUlba &&
+        config_.anticipate_overhead_in_trigger) {
+      const auto P = config_.pe_count;
+      const auto known = gossip_.database(0).wirs();
+      const std::int64_t n_hat = detector_.count_overloading(known);
+      if (n_hat > 0 && 2 * n_hat < P) {
+        const double a = policy_alpha(iter, total_workload, n_hat);
+        threshold += a * static_cast<double>(n_hat) /
+                     static_cast<double>(P - n_hat) * total_workload /
+                     (config_.flops * static_cast<double>(P));
+      }
+    }
+    return threshold;
+  }
+
+  const AppConfig& config_;
+  bsp::Machine machine_;
+  lb::CentralizedLb balancer_;
+  core::GossipNetwork gossip_;
+  core::OverloadDetector detector_;
+  core::AdaptiveTrigger trigger_;
+  support::Rng gossip_rng_;
+  core::LbCostEstimator lb_cost_;
+  lb::StripeBoundaries boundaries_;
+  double gossip_seconds_;
+  std::vector<double> wir_;
+  std::vector<double> prev_loads_;
+  bool wir_valid_ = false;
+  IterationRecord pending_;
+  RunResult result_;
+  mutable std::int64_t model_alpha_iter_ = -1;
+  mutable double model_alpha_memo_ = 0.0;
+};
+
+/// The SPMD-distributed run (AppConfig::ranks > 1): every rank steps its
+/// stripe of the DistributedDomain; the main rank additionally executes the
+/// LbController against weights reassembled through real messages, so the
+/// RunResult is bit-identical to the in-process run — plus the distributed
+/// migration accounting.
+RunResult run_distributed(const AppConfig& config,
+                          const DomainConfig& domain_config) {
+  RunResult result;
+  runtime::spmd_run(
+      static_cast<int>(config.ranks), [&](runtime::Comm& comm) {
+        const std::shared_ptr<const lb::Partitioner> partitioner(
+            lb::make_partitioner(config.partitioner));
+        DistributedDomain domain(domain_config, comm, partitioner);
+        support::Rng dynamics_rng = support::Rng(config.seed).fork(1);
+        std::optional<support::ThreadPool> pool;
+        if (config.threads > 1)
+          pool.emplace(static_cast<std::size_t>(config.threads));
+        const bool main = comm.rank() == 0;
+        std::optional<LbController> ctl;
+        if (main) ctl.emplace(config, partitioner, domain.columns());
+        const double byte_scale =
+            config.bytes_per_cell / config.flop_per_cell;
+
+        for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
+          // Monitoring gather (collective): the main rank reassembles the
+          // full pre-step weights and runs superstep/WIR/gossip on them.
+          const std::vector<double> weights = domain.gather_column_weights(0);
+          if (main) ctl->observe(iter, weights);
+
+          // Application dynamics (collective; independent of LB decisions).
+          if (pool)
+            (void)domain.step(dynamics_rng, *pool);
+          else
+            (void)domain.step(dynamics_rng);
+
+          // The trigger decides at the main rank; the verdict is broadcast
+          // so every rank enters (or skips) the LB collectives in lockstep.
+          std::uint8_t balance_now = 0;
+          if (main)
+            balance_now =
+                ctl->should_balance(iter, domain.total_workload()) ? 1 : 0;
+          comm.broadcast(balance_now, 0);
+          if (balance_now != 0) {
+            // One reassembly serves both the centralized LB step (main
+            // rank) and the stripe recut (every rank).
+            const std::vector<double> post =
+                domain.allgather_column_weights();
+            if (main) {
+              std::vector<double> bytes(post.size());
+              for (std::size_t x = 0; x < post.size(); ++x)
+                bytes[x] = post[x] * byte_scale;
+              ctl->balance(iter, post, bytes, domain.total_workload());
+            }
+            // Recut the rank stripes against the freshly balanced weights —
+            // column weights and disc ownership move as real messages.
+            const DistributedReshardResult reshard = domain.rebalance(post);
+            if (main) {
+              ctl->result().rank_discs_moved += reshard.discs_moved;
+              ctl->result().rank_migration_bytes +=
+                  reshard.predicted.total_bytes;
+              ctl->result().rank_observed_bytes +=
+                  reshard.observed_payload_bytes;
+            }
+          }
+          if (main) ctl->end_iteration();
+        }
+        const std::vector<double> final_weights =
+            domain.gather_column_weights(0);
+        if (main)
+          result = ctl->take_result(final_weights, domain.eroded_cells());
+      });
+  return result;
+}
+
 }  // namespace
 
 void AppConfig::validate() const {
@@ -134,6 +475,11 @@ void AppConfig::validate() const {
   ULBA_REQUIRE(threads >= 1, "need at least one stepping thread");
   ULBA_REQUIRE(shards >= 1 && shards <= pe_count,
                "shard count must lie in [1, pe_count]");
+  ULBA_REQUIRE(ranks >= 1 && ranks <= pe_count,
+               "rank count must lie in [1, pe_count]");
+  ULBA_REQUIRE(ranks == 1 || shards == 1,
+               "distributed stepping (ranks > 1) and in-process sharding "
+               "(shards > 1) are mutually exclusive");
   (void)lb::make_partitioner(partitioner);  // throws on unknown names
   comm.validate();
 }
@@ -174,12 +520,13 @@ DomainConfig ErosionApp::make_domain() const {
 }
 
 RunResult ErosionApp::run() const {
-  const auto P = config_.pe_count;
-  const support::Rng root(config_.seed);
+  // ranks > 1: the same machinery over the SPMD runtime (real messages),
+  // bit-identical by construction — see run_distributed/LbController.
+  if (config_.ranks > 1) return run_distributed(config_, make_domain());
+
   // Independent streams: the dynamics stream must not depend on LB decisions
   // so both methods see identical erosion for one seed.
-  support::Rng dynamics_rng = root.fork(1);
-  support::Rng gossip_rng = root.fork(2);
+  support::Rng dynamics_rng = support::Rng(config_.seed).fork(1);
 
   // One partitioner serves both the centralized LB technique's cuts and the
   // host-side disc-to-shard assignment of the sharded stepper.
@@ -197,36 +544,7 @@ RunResult ErosionApp::run() const {
     plain.emplace(make_domain());
   const ErosionDomain& domain = sharded ? sharded->domain() : *plain;
 
-  bsp::Machine machine(P, config_.flops, config_.comm);
-  lb::CentralizedLb balancer(config_.comm, config_.flops);
-  balancer.set_partitioner(partitioner);
-  core::GossipNetwork gossip(P, config_.gossip_fanout);
-  const core::OverloadDetector detector(config_.zscore_threshold);
-  core::AdaptiveTrigger trigger;
-
-  // Prior LB-cost estimate: only the communication phases are predictable
-  // before the first step (migration volume and rebuild depend on the data).
-  // A deliberately low prior makes the first LB fire early — a cheap probing
-  // step whose measured cost then calibrates the running average, the same
-  // bootstrap Meta-Balancer-style systems use.
-  const double prior_cost =
-      config_.comm.gather(static_cast<std::int64_t>(sizeof(double)), P) +
-      static_cast<double>(domain.columns()) * 8.0 / config_.flops +
-      config_.comm.broadcast(
-          static_cast<std::int64_t>((P + 1) * sizeof(std::int64_t)), P);
-  core::LbCostEstimator lb_cost(prior_cost);
-
-  lb::StripeBoundaries boundaries =
-      lb::even_partition(domain.columns(), P);
-
-  // Gossip traffic per iteration: each PE pushes its P-entry database
-  // (16 bytes per entry) to `fanout` peers; pushes proceed concurrently, so
-  // one PE's cost is its own `fanout` sends. The oracle reference pays
-  // nothing — it models perfect knowledge, not a protocol.
-  const double gossip_seconds =
-      config_.oracle_wir ? 0.0
-                         : static_cast<double>(config_.gossip_fanout) *
-                               config_.comm.p2p(16 * P);
+  LbController ctl(config_, partitioner, domain.columns());
 
   // Dynamics stepping: serial shared-stream below 2 threads, per-disc
   // substreams on a pool otherwise (see AppConfig::threads).
@@ -234,35 +552,8 @@ RunResult ErosionApp::run() const {
   if (config_.threads > 1)
     pool.emplace(static_cast<std::size_t>(config_.threads));
 
-  std::vector<double> wir(static_cast<std::size_t>(P), 0.0);
-  std::vector<double> prev_loads;
-  bool wir_valid = false;
-
-  RunResult result;
-  result.iterations.reserve(static_cast<std::size_t>(config_.iterations));
-
   for (std::int64_t iter = 0; iter < config_.iterations; ++iter) {
-    const auto loads = lb::stripe_loads(domain.column_weights(), boundaries);
-    const auto report = machine.run_superstep(loads, gossip_seconds);
-
-    // --- WIR monitoring (skipped on the iteration right after an LB step:
-    // stripe composition changed, the delta would measure migration, not
-    // application growth).
-    if (wir_valid) {
-      for (std::int64_t p = 0; p < P; ++p) {
-        const auto i = static_cast<std::size_t>(p);
-        const double raw = std::max(0.0, loads[i] - prev_loads[i]);
-        wir[i] = config_.wir_smoothing * raw +
-                 (1.0 - config_.wir_smoothing) * wir[i];
-        if (config_.oracle_wir)
-          gossip.observe_oracle(p, wir[i], iter);
-        else
-          gossip.observe_local(p, wir[i], iter);
-      }
-    }
-    prev_loads = loads;
-    wir_valid = true;
-    if (!config_.oracle_wir) gossip.step(gossip_rng);
+    ctl.observe(iter, domain.column_weights());
 
     // --- application dynamics (independent of every LB decision)
     if (sharded) {
@@ -276,125 +567,23 @@ RunResult ErosionApp::run() const {
       plain->step(dynamics_rng);
     }
 
-    // --- adaptive trigger (Algorithm 1 / Zhai-style degradation)
-    trigger.record_iteration(report.seconds);
-    double threshold = lb_cost.average();
-    if (config_.method == Method::kUlba &&
-        config_.anticipate_overhead_in_trigger) {
-      // Eq. (11): the overhead the next underloading step will impose on a
-      // non-overloading PE, estimated from the main PE's WIR database.
-      const auto known = gossip.database(0).wirs();
-      const std::int64_t n_hat = detector.count_overloading(known);
-      if (n_hat > 0 && 2 * n_hat < P) {
-        threshold += config_.alpha * static_cast<double>(n_hat) /
-                     static_cast<double>(P - n_hat) * domain.total_workload() /
-                     (config_.flops * static_cast<double>(P));
-      }
-    }
-
-    IterationRecord rec;
-    rec.seconds = report.seconds;
-    rec.utilization = report.utilization;
-    rec.degradation = trigger.degradation();
-
-    const bool last_iteration = iter + 1 >= config_.iterations;
-    bool balance_now = false;
-    switch (config_.trigger_mode) {
-      case TriggerMode::kAdaptive:
-        balance_now = trigger.should_balance(threshold);
-        break;
-      case TriggerMode::kPeriodic:
-        balance_now = (iter + 1) % config_.lb_period == 0;
-        break;
-      case TriggerMode::kNever:
-        balance_now = false;
-        break;
-    }
-    if (!last_iteration && balance_now) {
-      // Algorithm 1, lines 17–23: each PE classifies itself from its own
-      // (gossip-fed, possibly stale) database view; the α it applies comes
-      // from the configured AlphaPolicy (E-X4).
-      std::vector<double> alphas(static_cast<std::size_t>(P), 0.0);
-      double step_alpha = 0.0;
-      if (config_.method == Method::kUlba) {
-        // kGossipModel's α is chosen once at the main PE (whose database the
-        // centralized LB step gathers at anyway) and broadcast; the other
-        // policies are evaluated per PE against its own view.
-        double model_alpha = 0.0;
-        if (config_.alpha_policy == AlphaPolicy::kGossipModel) {
-          model_alpha = model_grid_alpha(
-              detector, gossip.database(0).wirs(), P,
-              config_.iterations - (iter + 1), domain.total_workload(),
-              config_.flops, lb_cost.average());
-        }
-        for (std::int64_t p = 0; p < P; ++p) {
-          const auto i = static_cast<std::size_t>(p);
-          const auto view = gossip.database(p).wirs();
-          if (!detector.is_overloading(wir[i], view)) continue;
-          double a = config_.alpha;
-          switch (config_.alpha_policy) {
-            case AlphaPolicy::kFixed:
-              break;
-            case AlphaPolicy::kGossipFraction:
-              a = fraction_alpha(config_.alpha,
-                                 detector.count_overloading(view), P);
-              break;
-            case AlphaPolicy::kGossipModel:
-              a = model_alpha;
-              break;
-          }
-          alphas[i] = a;
-        }
-        // Report the α the main PE's view implies, whether or not PE 0
-        // itself overloads — the per-interval trace of `lb_alphas`.
-        switch (config_.alpha_policy) {
-          case AlphaPolicy::kFixed:
-            step_alpha = config_.alpha;
-            break;
-          case AlphaPolicy::kGossipFraction:
-            step_alpha = fraction_alpha(
-                config_.alpha,
-                detector.count_overloading(gossip.database(0).wirs()), P);
-            break;
-          case AlphaPolicy::kGossipModel:
-            step_alpha = model_alpha;
-            break;
-        }
-      }
-      const auto lb_step = balancer.step(alphas, domain.column_weights(),
-                                         domain.column_bytes(), boundaries);
-      machine.charge_global(lb_step.cost.total());
-      lb_cost.observe(lb_step.cost.total());
-      trigger.reset();
-      boundaries = lb_step.boundaries;
-      wir_valid = false;  // next delta would measure the migration
-      if (lb_step.assignment.fell_back_to_standard) ++result.fallback_count;
-      ++result.lb_count;
-      result.lb_seconds += lb_step.cost.total();
-      result.lb_iterations.push_back(iter);
-      result.lb_alphas.push_back(step_alpha);
-      rec.lb_performed = true;
+    if (ctl.should_balance(iter, domain.total_workload())) {
+      ctl.balance(iter, domain.column_weights(), domain.column_bytes(),
+                  domain.total_workload());
       if (sharded) {
         // Re-shard the host-side stepping against the freshly balanced
         // weights — the boundary workload deltas move with the LB step. The
         // trajectory is shard-invariant, so this only affects host
         // parallelism and the reported migration accounting.
         const ReshardResult reshard = sharded->rebalance();
-        result.shard_discs_moved += reshard.discs_moved;
-        result.shard_migration_bytes += reshard.migration.total_bytes;
+        ctl.result().shard_discs_moved += reshard.discs_moved;
+        ctl.result().shard_migration_bytes += reshard.migration.total_bytes;
       }
     }
-
-    result.compute_seconds += report.seconds;
-    result.iterations.push_back(rec);
+    ctl.end_iteration();
   }
 
-  result.total_seconds = machine.elapsed_seconds();
-  result.average_utilization = machine.average_utilization();
-  result.eroded_cells = domain.eroded_cells();
-  result.final_imbalance =
-      lb::load_imbalance(domain.column_weights(), boundaries);
-  return result;
+  return ctl.take_result(domain.column_weights(), domain.eroded_cells());
 }
 
 }  // namespace ulba::erosion

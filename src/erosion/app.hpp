@@ -118,8 +118,21 @@ struct AppConfig {
   /// every (K, partitioner, threads) combination.
   std::int64_t shards = 1;
 
+  /// SPMD ranks stepping the erosion dynamics through the message-passing
+  /// runtime (erosion::DistributedDomain): each rank owns a contiguous
+  /// column stripe plus the discs centered in it — no shared state — and
+  /// halo deltas, frontier metadata, and LB-step migrations travel as real
+  /// runtime::Mailbox messages. 1 = the in-process steppers (plain, pooled,
+  /// or sharded). The trajectory and the final report are bit-identical to
+  /// the serial shared-stream stepper for every (ranks, partitioner,
+  /// threads) combination; `threads` > 1 gives each rank its own stepping
+  /// pool. Mutually exclusive with `shards` > 1.
+  std::int64_t ranks = 1;
+
   /// E-X4 extension (the paper's future-work item): how ULBA adapts α at
-  /// each LB step from the gossip-estimated overloading state.
+  /// each LB step from the gossip-estimated overloading state. The policy
+  /// also feeds the adaptive trigger's Eq. (11) overhead term, so trigger
+  /// and LB step agree on the α about to be applied.
   AlphaPolicy alpha_policy = AlphaPolicy::kFixed;
 
   void validate() const;
@@ -136,6 +149,11 @@ struct IterationRecord {
   double utilization = 0.0;   ///< mean(load)/max(load) of this iteration
   bool lb_performed = false;  ///< an LB step followed this iteration
   double degradation = 0.0;   ///< trigger accumulator after this iteration
+  /// The threshold the adaptive trigger compared `degradation` against this
+  /// iteration: average LB cost, plus — for ULBA with
+  /// `anticipate_overhead_in_trigger` — the Eq. (11) overhead at the α the
+  /// configured AlphaPolicy would apply right now.
+  double threshold = 0.0;
 };
 
 struct RunResult {
@@ -157,6 +175,13 @@ struct RunResult {
   /// re-shard steps, and the summed migration volume those moves would cost.
   std::int64_t shard_discs_moved = 0;
   double shard_migration_bytes = 0.0;
+  /// Distributed stepping only (ranks > 1): discs that changed rank across
+  /// all rank-stripe recuts, the summed analytic migration volume of those
+  /// recuts, and the real message payload bytes the migrations put on the
+  /// wire (column weights + serialized disc states).
+  std::int64_t rank_discs_moved = 0;
+  double rank_migration_bytes = 0.0;
+  double rank_observed_bytes = 0.0;
 };
 
 class ErosionApp {

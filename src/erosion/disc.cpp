@@ -1,0 +1,193 @@
+#include "erosion/disc.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "erosion/domain.hpp"
+#include "support/require.hpp"
+
+namespace ulba::erosion {
+
+DiscState build_disc_state(const RockDisc& disc) {
+  DiscState d;
+  d.side = 2 * disc.radius + 1;
+  d.x0 = disc.cx - disc.radius;
+  d.y0 = disc.cy - disc.radius;
+  d.erosion_prob = disc.erosion_prob;
+  d.cells.assign(static_cast<std::size_t>(d.side * d.side), Cell::kOutside);
+
+  const auto r2 =
+      static_cast<double>(disc.radius) * static_cast<double>(disc.radius);
+  for (std::int64_t ly = 0; ly < d.side; ++ly) {
+    for (std::int64_t lx = 0; lx < d.side; ++lx) {
+      const auto dx = static_cast<double>(lx - disc.radius);
+      const auto dy = static_cast<double>(ly - disc.radius);
+      if (dx * dx + dy * dy <= r2) {
+        d.cells[static_cast<std::size_t>(ly * d.side + lx)] =
+            Cell::kRockInterior;
+        ++d.rock_remaining;
+      }
+    }
+  }
+
+  // Promote boundary rock (any non-rock 4-neighbour) to frontier.
+  for (std::int64_t ly = 0; ly < d.side; ++ly) {
+    for (std::int64_t lx = 0; lx < d.side; ++lx) {
+      const auto idx = static_cast<std::size_t>(ly * d.side + lx);
+      if (d.cells[idx] != Cell::kRockInterior) continue;
+      const bool touches_fluid =
+          d.at(lx - 1, ly) == Cell::kOutside ||
+          d.at(lx + 1, ly) == Cell::kOutside ||
+          d.at(lx, ly - 1) == Cell::kOutside ||
+          d.at(lx, ly + 1) == Cell::kOutside;
+      if (touches_fluid) {
+        d.cells[idx] = Cell::kRockFrontier;
+        d.frontier.push_back(static_cast<std::int32_t>(idx));
+      }
+    }
+  }
+  return d;
+}
+
+std::vector<std::int32_t> decide_disc(const DiscState& d, support::Rng& rng) {
+  // Decide against the pre-step state (synchronous CA semantics). "Each
+  // fluid cell computes a probabilistic erosion of neighboring rock cells":
+  // a rock cell takes one erosion trial per adjacent fluid face. A refined
+  // neighbour consists of four finer cells, two of which border this rock
+  // cell — refinement therefore doubles that face's trials, which is
+  // precisely the paper's "creating even more imbalance" acceleration.
+  std::vector<std::int32_t> to_erode;
+  if (d.frontier.empty()) return to_erode;
+  const auto fluid_faces = [&](std::int64_t lx, std::int64_t ly) -> int {
+    switch (d.at(lx, ly)) {
+      case Cell::kOutside:
+        return 1;
+      case Cell::kRefined:
+        return 2;
+      default:
+        return 0;
+    }
+  };
+  for (const std::int32_t idx : d.frontier) {
+    const std::int64_t lx = idx % d.side;
+    const std::int64_t ly = idx / d.side;
+    const int trials = fluid_faces(lx - 1, ly) + fluid_faces(lx + 1, ly) +
+                       fluid_faces(lx, ly - 1) + fluid_faces(lx, ly + 1);
+    if (trials == 0) continue;  // fully enclosed (cannot happen for
+                                // frontier cells, but cheap)
+    const double p_eff = 1.0 - std::pow(1.0 - d.erosion_prob, trials);
+    if (rng.bernoulli(p_eff)) to_erode.push_back(idx);
+  }
+  return to_erode;
+}
+
+void apply_disc(DiscState& d, const std::vector<std::int32_t>& to_erode) {
+  if (to_erode.empty()) return;
+
+  // Rock → refined fluid.
+  for (const std::int32_t idx : to_erode) {
+    d.cells[static_cast<std::size_t>(idx)] = Cell::kRefined;
+    --d.rock_remaining;
+  }
+
+  // Newly exposed interior rock joins the frontier.
+  const auto expose = [&](std::int64_t lx, std::int64_t ly) {
+    if (lx < 0 || ly < 0 || lx >= d.side || ly >= d.side) return;
+    const auto idx = static_cast<std::size_t>(ly * d.side + lx);
+    if (d.cells[idx] == Cell::kRockInterior) {
+      d.cells[idx] = Cell::kRockFrontier;
+      d.frontier.push_back(static_cast<std::int32_t>(idx));
+    }
+  };
+  for (const std::int32_t idx : to_erode) {
+    const std::int64_t lx = idx % d.side;
+    const std::int64_t ly = idx / d.side;
+    expose(lx - 1, ly);
+    expose(lx + 1, ly);
+    expose(lx, ly - 1);
+    expose(lx, ly + 1);
+  }
+
+  // Compact the frontier list: drop everything that is no longer frontier.
+  std::erase_if(d.frontier, [&](std::int32_t idx) {
+    return d.cells[static_cast<std::size_t>(idx)] != Cell::kRockFrontier;
+  });
+}
+
+namespace {
+
+// Wire layout: 6 × int64 header {disc_id, x0, y0, side, rock_remaining,
+// frontier_count} + 1 × double erosion_prob + side² cell bytes +
+// frontier_count × int32. Everything little-endian host order — the
+// runtime's ranks share one machine (BitwisePortable discipline).
+constexpr std::size_t kHeaderInts = 6;
+
+void append_bytes(std::vector<std::byte>& out, const void* data,
+                  std::size_t size) {
+  const std::size_t at = out.size();
+  out.resize(at + size);
+  std::memcpy(out.data() + at, data, size);
+}
+
+template <typename T>
+void append_raw(std::vector<std::byte>& out, const T& value) {
+  append_bytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::span<const std::byte>& in) {
+  ULBA_REQUIRE(in.size() >= sizeof(T), "disc payload truncated");
+  T value;
+  std::memcpy(&value, in.data(), sizeof(T));
+  in = in.subspan(sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::byte> serialize_disc(std::size_t disc_id,
+                                      const DiscState& d) {
+  std::vector<std::byte> out;
+  out.reserve(kHeaderInts * sizeof(std::int64_t) + sizeof(double) +
+              d.cells.size() + d.frontier.size() * sizeof(std::int32_t));
+  append_raw(out, static_cast<std::int64_t>(disc_id));
+  append_raw(out, d.x0);
+  append_raw(out, d.y0);
+  append_raw(out, d.side);
+  append_raw(out, d.rock_remaining);
+  append_raw(out, static_cast<std::int64_t>(d.frontier.size()));
+  append_raw(out, d.erosion_prob);
+  append_bytes(out, d.cells.data(), d.cells.size());
+  append_bytes(out, d.frontier.data(),
+               d.frontier.size() * sizeof(std::int32_t));
+  return out;
+}
+
+DiscState deserialize_disc(std::span<const std::byte> payload,
+                           std::size_t expected_disc_id) {
+  const auto disc_id = read_raw<std::int64_t>(payload);
+  ULBA_REQUIRE(disc_id == static_cast<std::int64_t>(expected_disc_id),
+               "disc hand-off id does not match the expected disc");
+  DiscState d;
+  d.x0 = read_raw<std::int64_t>(payload);
+  d.y0 = read_raw<std::int64_t>(payload);
+  d.side = read_raw<std::int64_t>(payload);
+  d.rock_remaining = read_raw<std::int64_t>(payload);
+  const auto frontier_count = read_raw<std::int64_t>(payload);
+  d.erosion_prob = read_raw<double>(payload);
+  ULBA_REQUIRE(d.side >= 1 && frontier_count >= 0, "malformed disc header");
+  const auto cell_count = static_cast<std::size_t>(d.side * d.side);
+  ULBA_REQUIRE(payload.size() ==
+                   cell_count + static_cast<std::size_t>(frontier_count) *
+                                    sizeof(std::int32_t),
+               "disc payload size does not match its header");
+  d.cells.resize(cell_count);
+  std::memcpy(d.cells.data(), payload.data(), cell_count);
+  payload = payload.subspan(cell_count);
+  d.frontier.resize(static_cast<std::size_t>(frontier_count));
+  std::memcpy(d.frontier.data(), payload.data(),
+              d.frontier.size() * sizeof(std::int32_t));
+  return d;
+}
+
+}  // namespace ulba::erosion

@@ -1,0 +1,83 @@
+// Disc-local erosion mechanics, factored out of ErosionDomain so every
+// stepper — the serial domain, the sharded in-process stepper, and the
+// SPMD-distributed stepper — drives ONE implementation of the cellular
+// automaton:
+//
+//   * build_disc_state  — rasterize a RockDisc into its bounding-box cell
+//                         grid and initial frontier;
+//   * decide_disc       — phase 1 of a step: pick the frontier cells that
+//                         erode, against the pre-step state (exactly one
+//                         Bernoulli draw per frontier cell — the invariant
+//                         every stream-splitting stepper is built on);
+//   * apply_disc        — phases 2+3, disc-local: flip cells to refined,
+//                         expose interior rock, compact the frontier;
+//   * serialize_disc /  — byte-exact migration format, so a disc can change
+//     deserialize_disc    owner as one real message between address spaces.
+//
+// A disc's state is fully self-contained (discs are pairwise disjoint by
+// DomainConfig::validate), which is what makes ownership migration a plain
+// state transfer: no neighbour stitching is ever needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ulba::erosion {
+
+struct RockDisc;
+
+/// Cell states of one disc's bounding-box grid.
+enum class Cell : std::uint8_t {
+  kOutside = 0,       ///< inside the bounding box but not rock (fluid)
+  kRockInterior = 1,  ///< rock with no fluid contact yet
+  kRockFrontier = 2,  ///< rock touching fluid — erodible this step
+  kRefined = 3,       ///< eroded: refinement_factor finer fluid cells
+};
+
+/// The materialized state of one rock disc: its bounding-box cell grid plus
+/// the compacted frontier list.
+struct DiscState {
+  std::int64_t x0 = 0, y0 = 0;  ///< bounding-box origin in the domain
+  std::int64_t side = 0;        ///< box is side × side
+  double erosion_prob = 0.0;
+  std::vector<Cell> cells;             ///< box cell states
+  std::vector<std::int32_t> frontier;  ///< indices of kRockFrontier cells
+  std::int64_t rock_remaining = 0;
+
+  [[nodiscard]] Cell at(std::int64_t lx, std::int64_t ly) const {
+    if (lx < 0 || ly < 0 || lx >= side || ly >= side) return Cell::kOutside;
+    return cells[static_cast<std::size_t>(ly * side + lx)];
+  }
+};
+
+/// Rasterize `disc` (cells within the Euclidean radius are rock; boundary
+/// rock with any non-rock 4-neighbour starts on the frontier).
+[[nodiscard]] DiscState build_disc_state(const RockDisc& disc);
+
+/// Phase 1 — decide which frontier cells erode, against the pre-step state.
+/// Consumes EXACTLY frontier.size() Bernoulli draws from `rng` (every
+/// frontier cell has at least one fluid face), independent of the outcomes —
+/// the invariant the sharded/distributed stream split relies on.
+[[nodiscard]] std::vector<std::int32_t> decide_disc(const DiscState& d,
+                                                    support::Rng& rng);
+
+/// Phases 2+3, disc-local — flip cells to refined, expose interior rock,
+/// compact the frontier. Touches nothing outside `d`.
+void apply_disc(DiscState& d, const std::vector<std::int32_t>& to_erode);
+
+/// Byte-exact wire format for migrating disc ownership between ranks.
+/// `disc_id` travels with the state so the receiver can verify it got the
+/// hand-off it expected.
+[[nodiscard]] std::vector<std::byte> serialize_disc(std::size_t disc_id,
+                                                    const DiscState& d);
+
+/// Inverse of serialize_disc; throws std::invalid_argument on a malformed
+/// payload or when the embedded disc id differs from `expected_disc_id`.
+[[nodiscard]] DiscState deserialize_disc(std::span<const std::byte> payload,
+                                         std::size_t expected_disc_id);
+
+}  // namespace ulba::erosion

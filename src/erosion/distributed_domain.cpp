@@ -1,0 +1,387 @@
+#include "erosion/distributed_domain.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace ulba::erosion {
+
+namespace {
+
+// Message channels of the distributed domain (user tags — non-negative, and
+// offset well clear of any ad-hoc tags application drivers might pick).
+constexpr int kTagStep = 100;          ///< per-step delta/frontier exchange
+constexpr int kTagGatherWeights = 101; ///< stripe → root weight gather
+constexpr int kTagMigrateColumns = 102;
+constexpr int kTagMigrateDisc = 103;
+
+/// Overlap [max(a0,b0), min(a1,b1)) of two half-open column intervals.
+std::pair<std::int64_t, std::int64_t> interval_overlap(std::int64_t a0,
+                                                       std::int64_t a1,
+                                                       std::int64_t b0,
+                                                       std::int64_t b1) {
+  return {std::max(a0, b0), std::min(a1, b1)};
+}
+
+}  // namespace
+
+DistributedDomain::DistributedDomain(
+    DomainConfig config, runtime::Comm& comm,
+    std::shared_ptr<const lb::Partitioner> partitioner)
+    : config_(std::move(config)),
+      comm_(&comm),
+      partitioner_(std::move(partitioner)) {
+  ULBA_REQUIRE(partitioner_ != nullptr, "distribution needs a partitioner");
+  config_.validate();
+  const int R = comm_->size();
+  ULBA_REQUIRE(static_cast<std::int64_t>(R) <= config_.columns,
+               "rank count must not exceed the column count");
+
+  // Replay the serial builder's weight accounting over a transient
+  // full-width view (one DiscState alive at a time): every rank derives the
+  // identical initial weights, frontier metadata, and Wtot without ever
+  // holding the whole domain.
+  const std::size_t n = config_.discs.size();
+  frontier_sizes_.assign(n, 0);
+  std::vector<double> full(
+      static_cast<std::size_t>(config_.columns),
+      config_.flop_per_cell * static_cast<double>(config_.rows));
+  for (std::size_t i = 0; i < n; ++i) {
+    const DiscState d = build_disc_state(config_.discs[i]);
+    frontier_sizes_[i] = static_cast<std::int64_t>(d.frontier.size());
+    rock_remaining_ += d.rock_remaining;
+    for (std::int64_t ly = 0; ly < d.side; ++ly)
+      for (std::int64_t lx = 0; lx < d.side; ++lx)
+        if (d.at(lx, ly) != Cell::kOutside)
+          full[static_cast<std::size_t>(d.x0 + lx)] -= config_.flop_per_cell;
+  }
+  total_ = 0.0;
+  for (const double w : full) total_ += w;
+
+  // Initial cut: even targets against the initial weights, exactly like the
+  // sharded stepper's construction.
+  const std::vector<double> targets(static_cast<std::size_t>(R),
+                                    1.0 / static_cast<double>(R));
+  boundaries_ = partitioner_->partition(full, targets);
+  assign_local_discs();
+  local_discs_.reserve(local_disc_ids_.size());
+  for (const std::size_t id : local_disc_ids_)
+    local_discs_.push_back(build_disc_state(config_.discs[id]));
+
+  const auto r = static_cast<std::size_t>(comm_->rank());
+  weights_.assign(full.begin() + boundaries_[r],
+                  full.begin() + boundaries_[r + 1]);
+}
+
+void DistributedDomain::assign_local_discs() {
+  local_disc_ids_.clear();
+  disc_owner_.assign(config_.discs.size(), 0);
+  for (std::size_t i = 0; i < config_.discs.size(); ++i) {
+    const int owner = owner_of_column(config_.discs[i].cx);
+    disc_owner_[i] = owner;
+    if (owner == rank()) local_disc_ids_.push_back(i);
+  }
+}
+
+int DistributedDomain::owner_of_disc(std::size_t disc) const {
+  ULBA_REQUIRE(disc < disc_owner_.size(), "disc index out of range");
+  return disc_owner_[disc];
+}
+
+int DistributedDomain::owner_of_column(std::int64_t x) const {
+  ULBA_REQUIRE(x >= 0 && x < config_.columns, "column out of range");
+  const auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), x);
+  return static_cast<int>(std::distance(boundaries_.begin(), it) - 1);
+}
+
+std::int64_t DistributedDomain::frontier_size() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t f : frontier_sizes_) total += f;
+  return total;
+}
+
+std::int64_t DistributedDomain::disc_frontier_size(std::size_t disc) const {
+  ULBA_REQUIRE(disc < frontier_sizes_.size(), "disc index out of range");
+  return frontier_sizes_[disc];
+}
+
+void DistributedDomain::credit_column(std::int64_t x, std::int64_t count) {
+  const double gained = config_.refinement_factor * config_.flop_per_cell;
+  const auto local = static_cast<std::size_t>(x - first_column());
+  ULBA_CHECK(local < weights_.size(),
+             "erosion delta landed outside the owning stripe");
+  // One addition per eroded cell — the serial commit's accounting, so the
+  // floating-point result is bit-equal regardless of message arrival order.
+  for (std::int64_t c = 0; c < count; ++c) weights_[local] += gained;
+}
+
+std::int64_t DistributedDomain::step(support::Rng& rng) {
+  support::ThreadPool serial(1);
+  return step(rng, serial);
+}
+
+std::int64_t DistributedDomain::step(support::Rng& rng,
+                                     support::ThreadPool& pool) {
+  const std::size_t n = config_.discs.size();
+  const int R = ranks();
+  const int r = rank();
+
+  // Phase 1 — lockstep stream split: every rank advances its own copy of
+  // the master by Σ frontier_i burn draws (in disc order), snapshotting at
+  // its local discs' offsets. All copies stay bit-equal to the serial
+  // stepper's stream, so no RNG state ever needs to be communicated.
+  std::vector<support::Rng> streams;
+  streams.reserve(local_disc_ids_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (disc_owner_[i] == r) streams.push_back(rng);
+    for (std::int64_t d = 0; d < frontier_sizes_[i]; ++d)
+      (void)rng.bernoulli(0.5);
+  }
+
+  // Phase 2 — decide + apply the local discs (disc state is disc-local and
+  // every disc draws from its own positioned snapshot).
+  std::vector<std::vector<std::int32_t>> erode(local_discs_.size());
+  pool.parallel_for(local_discs_.size(), [&](std::size_t k) {
+    erode[k] = decide_disc(local_discs_[k], streams[k]);
+    apply_disc(local_discs_[k], erode[k]);
+  });
+
+  // Phase 3 — commit my columns; bucket the halo deltas (eroded cells in
+  // columns another rank owns — a disc straddling a stripe boundary) per
+  // destination rank.
+  std::int64_t my_eroded = 0;
+  std::vector<std::map<std::int64_t, std::int64_t>> halo(
+      static_cast<std::size_t>(R));
+  for (std::size_t k = 0; k < local_discs_.size(); ++k) {
+    const DiscState& d = local_discs_[k];
+    my_eroded += static_cast<std::int64_t>(erode[k].size());
+    for (const std::int32_t idx : erode[k]) {
+      const std::int64_t x = d.x0 + idx % d.side;
+      const int owner = owner_of_column(x);
+      if (owner == r)
+        credit_column(x, 1);
+      else
+        ++halo[static_cast<std::size_t>(owner)][x];
+    }
+  }
+
+  // Phase 4 — one message per peer: my eroded total, the peer's halo
+  // deltas, and my discs' updated frontier sizes (the stream-split metadata
+  // every rank needs before the NEXT step).
+  for (int s = 0; s < R; ++s) {
+    if (s == r) continue;
+    std::vector<std::int64_t> msg;
+    const auto& deltas = halo[static_cast<std::size_t>(s)];
+    msg.reserve(3 + 2 * deltas.size() + 2 * local_disc_ids_.size());
+    msg.push_back(my_eroded);
+    msg.push_back(static_cast<std::int64_t>(deltas.size()));
+    for (const auto& [x, count] : deltas) {
+      msg.push_back(x);
+      msg.push_back(count);
+    }
+    msg.push_back(static_cast<std::int64_t>(local_disc_ids_.size()));
+    for (std::size_t k = 0; k < local_disc_ids_.size(); ++k) {
+      msg.push_back(static_cast<std::int64_t>(local_disc_ids_[k]));
+      msg.push_back(static_cast<std::int64_t>(local_discs_[k].frontier.size()));
+    }
+    comm_->send_span<std::int64_t>(s, kTagStep, msg);
+  }
+  for (std::size_t k = 0; k < local_disc_ids_.size(); ++k)
+    frontier_sizes_[local_disc_ids_[k]] =
+        static_cast<std::int64_t>(local_discs_[k].frontier.size());
+
+  // Phase 5 — drain every peer's message (rank order; sends are
+  // non-blocking, so the all-to-all cannot deadlock).
+  std::int64_t global_eroded = my_eroded;
+  for (int s = 0; s < R; ++s) {
+    if (s == r) continue;
+    const auto msg = comm_->recv_vector<std::int64_t>(s, kTagStep);
+    std::size_t at = 0;
+    const auto take = [&msg, &at]() -> std::int64_t {
+      ULBA_CHECK(at < msg.size(), "malformed step message (truncated)");
+      return msg[at++];
+    };
+    global_eroded += take();
+    const auto cols = static_cast<std::size_t>(take());
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::int64_t x = take();
+      const std::int64_t count = take();
+      credit_column(x, count);
+    }
+    const auto discs = static_cast<std::size_t>(take());
+    for (std::size_t k = 0; k < discs; ++k) {
+      const auto id = static_cast<std::size_t>(take());
+      ULBA_CHECK(id < frontier_sizes_.size(), "frontier update out of range");
+      frontier_sizes_[id] = take();
+    }
+    ULBA_CHECK(at == msg.size(), "malformed step message (trailing bytes)");
+  }
+
+  // Phase 6 — replicated global accounting (one increment per eroded cell,
+  // matching the serial commit's FP trajectory).
+  const double gained = config_.refinement_factor * config_.flop_per_cell;
+  for (std::int64_t c = 0; c < global_eroded; ++c) total_ += gained;
+  rock_remaining_ -= global_eroded;
+  eroded_ += global_eroded;
+  return global_eroded;
+}
+
+std::vector<double> DistributedDomain::gather_column_weights(int root) const {
+  const int R = comm_->size();
+  const int r = comm_->rank();
+  if (r != root) {
+    comm_->send_span<double>(root, kTagGatherWeights, weights_);
+    return {};
+  }
+  std::vector<double> full(static_cast<std::size_t>(config_.columns), 0.0);
+  std::copy(weights_.begin(), weights_.end(),
+            full.begin() + boundaries_[static_cast<std::size_t>(r)]);
+  for (int s = 0; s < R; ++s) {
+    if (s == root) continue;
+    const auto stripe = comm_->recv_vector<double>(s, kTagGatherWeights);
+    const auto begin = boundaries_[static_cast<std::size_t>(s)];
+    ULBA_CHECK(static_cast<std::int64_t>(stripe.size()) ==
+                   boundaries_[static_cast<std::size_t>(s) + 1] - begin,
+               "gathered stripe size does not match the boundaries");
+    std::copy(stripe.begin(), stripe.end(), full.begin() + begin);
+  }
+  return full;
+}
+
+std::vector<double> DistributedDomain::allgather_column_weights() const {
+  std::vector<double> full = gather_column_weights(0);
+  comm_->broadcast_vector(full, 0);
+  return full;
+}
+
+DistributedReshardResult DistributedDomain::rebalance() {
+  // Reassemble the full weights on every rank: the recut, the analytic
+  // migration model, and the per-rank observed accounting all need the
+  // global view (this mirrors the centralized LB step's gather/broadcast).
+  return rebalance(allgather_column_weights());
+}
+
+DistributedReshardResult DistributedDomain::rebalance(
+    std::span<const double> full) {
+  const int R = ranks();
+  const int r = rank();
+  ULBA_REQUIRE(static_cast<std::int64_t>(full.size()) == config_.columns,
+               "rebalance needs the full-width column weights");
+
+  // Recut — deterministic and identical on every rank.
+  const lb::StripeBoundaries before = boundaries_;
+  const std::vector<int> owners_before = disc_owner_;
+  const std::vector<double> targets(static_cast<std::size_t>(R),
+                                    1.0 / static_cast<double>(R));
+  boundaries_ = partitioner_->partition(full, targets);
+  const lb::StripeBoundaries& after = boundaries_;
+
+  const double scale = config_.bytes_per_cell / config_.flop_per_cell;
+  double sent_model = 0.0, recv_model = 0.0;
+  double sent_payload = 0.0, recv_payload = 0.0;
+
+  // Column hand-off, sends: for each peer q, the columns I owned before
+  // that q owns now travel as one weights message.
+  const std::int64_t ob = before[static_cast<std::size_t>(r)];
+  const std::int64_t oe = before[static_cast<std::size_t>(r) + 1];
+  for (int q = 0; q < R; ++q) {
+    if (q == r) continue;
+    const auto [lo, hi] = interval_overlap(
+        ob, oe, after[static_cast<std::size_t>(q)],
+        after[static_cast<std::size_t>(q) + 1]);
+    if (lo >= hi) continue;
+    const std::span<const double> cols(
+        weights_.data() + (lo - ob), static_cast<std::size_t>(hi - lo));
+    comm_->send_span<double>(q, kTagMigrateColumns, cols);
+    sent_payload += static_cast<double>(cols.size_bytes());
+    for (const double w : cols) sent_model += w * scale;
+  }
+
+  // Column hand-off, receives: my new stripe = the kept overlap of my
+  // old stripe plus one message per peer that used to own part of it. The
+  // new weight vector is rebuilt strictly from retained state and received
+  // messages — the reassembled `full` view is only consulted by the models.
+  const std::int64_t nb = after[static_cast<std::size_t>(r)];
+  const std::int64_t ne = after[static_cast<std::size_t>(r) + 1];
+  std::vector<double> neww(static_cast<std::size_t>(ne - nb), 0.0);
+  {
+    const auto [lo, hi] = interval_overlap(ob, oe, nb, ne);
+    for (std::int64_t x = lo; x < hi; ++x)
+      neww[static_cast<std::size_t>(x - nb)] =
+          weights_[static_cast<std::size_t>(x - ob)];
+  }
+  for (int p = 0; p < R; ++p) {
+    if (p == r) continue;
+    const auto [lo, hi] = interval_overlap(
+        before[static_cast<std::size_t>(p)],
+        before[static_cast<std::size_t>(p) + 1], nb, ne);
+    if (lo >= hi) continue;
+    const auto cols = comm_->recv_vector<double>(p, kTagMigrateColumns);
+    ULBA_CHECK(static_cast<std::int64_t>(cols.size()) == hi - lo,
+               "migrated column block size mismatch");
+    recv_payload += static_cast<double>(cols.size() * sizeof(double));
+    for (std::int64_t x = lo; x < hi; ++x) {
+      const double w = cols[static_cast<std::size_t>(x - lo)];
+      neww[static_cast<std::size_t>(x - nb)] = w;
+      recv_model += w * scale;
+    }
+  }
+
+  // Disc hand-off: a disc follows its center column's owner; whole
+  // DiscStates travel as serialized messages, in ascending disc order.
+  // boundaries_ already holds the `after` cut, so owner_of_column gives the
+  // new owner — the one lookup both sender and receiver loops must share.
+  std::map<std::size_t, DiscState> mine;
+  for (std::size_t k = 0; k < local_disc_ids_.size(); ++k) {
+    const std::size_t id = local_disc_ids_[k];
+    const int new_owner = owner_of_column(config_.discs[id].cx);
+    if (new_owner == r) {
+      mine.emplace(id, std::move(local_discs_[k]));
+    } else {
+      const auto payload = serialize_disc(id, local_discs_[k]);
+      comm_->send_bytes(new_owner, kTagMigrateDisc, payload);
+      sent_payload += static_cast<double>(payload.size());
+    }
+  }
+  std::int64_t discs_moved = 0;
+  for (std::size_t i = 0; i < config_.discs.size(); ++i) {
+    const int new_owner = owner_of_column(config_.discs[i].cx);
+    if (new_owner == owners_before[i]) continue;
+    ++discs_moved;
+    if (new_owner == r) {
+      const runtime::Message msg =
+          comm_->recv_message(owners_before[i], kTagMigrateDisc);
+      recv_payload += static_cast<double>(msg.payload.size());
+      mine.emplace(i, deserialize_disc(msg.payload, i));
+    }
+  }
+
+  // Commit the new ownership.
+  assign_local_discs();
+  local_discs_.clear();
+  local_discs_.reserve(local_disc_ids_.size());
+  for (const std::size_t id : local_disc_ids_) {
+    const auto it = mine.find(id);
+    ULBA_CHECK(it != mine.end(), "disc hand-off left an owned disc behind");
+    local_discs_.push_back(std::move(it->second));
+  }
+  weights_ = std::move(neww);
+
+  // Accounting: the analytic prediction on the full view, and the
+  // observed traffic reduced across ranks.
+  DistributedReshardResult result;
+  result.boundaries = boundaries_;
+  result.discs_moved = discs_moved;
+  std::vector<double> bytes(full.size());
+  for (std::size_t x = 0; x < full.size(); ++x) bytes[x] = full[x] * scale;
+  result.predicted = lb::migration_volume(before, after, bytes);
+  result.observed_per_rank_bytes = comm_->allgather(sent_model + recv_model);
+  result.observed_column_bytes = comm_->allreduce(sent_model);
+  result.observed_payload_bytes =
+      comm_->allreduce(sent_payload + recv_payload);
+  return result;
+}
+
+}  // namespace ulba::erosion

@@ -1,0 +1,191 @@
+// Distributed erosion domain — the erosion workload over the SPMD
+// message-passing runtime, one instance per runtime::Comm rank.
+//
+// Where ShardedDomain splits discs across in-process shards that commit
+// through ONE shared per-column weight array, DistributedDomain owns no
+// shared state at all: each rank holds exactly the column weights of its
+// contiguous stripe plus the materialized DiscStates of the discs whose
+// centers fall in that stripe. Everything that crosses a stripe boundary is
+// a real runtime::Mailbox message:
+//
+//   * per step, each rank sends every peer the (column, eroded-cell-count)
+//     deltas that land in the peer's stripe — the halo exchange a disc
+//     straddling a boundary requires — together with the updated frontier
+//     sizes of its own discs (the metadata the lockstep stream split needs)
+//     and its eroded-cell total;
+//   * per rebalance, the stripes are recut by any lb::Partitioner and both
+//     column weights and whole DiscStates change owner as serialized
+//     messages, with the analytic lb::migration_volume prediction validated
+//     against the columns that were actually exchanged.
+//
+// Determinism contract (the distributed extension of the sharded
+// partition-invariance property, locked by tests/test_distributed_erosion):
+// for EVERY (rank count, partitioner, per-rank thread count) the trajectory
+// and the final domain report are BIT-identical to the serial shared-stream
+// ErosionDomain::step(rng), including the master RNG's post-run state. The
+// same three disciplines as ShardedDomain make this possible, with one
+// twist: every rank advances its own lockstep COPY of the master stream by
+// the full Σ frontier_i draws (Bernoulli consumption is p-independent), so
+// the per-disc snapshots are positioned identically on every rank without
+// any stream ever crossing the wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "erosion/disc.hpp"
+#include "erosion/domain.hpp"
+#include "lb/migration.hpp"
+#include "lb/partitioners.hpp"
+#include "lb/stripe_partitioner.hpp"
+#include "runtime/comm.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ulba::erosion {
+
+/// Outcome of one distributed rebalance (identical on every rank).
+struct DistributedReshardResult {
+  lb::StripeBoundaries boundaries;  ///< the new rank → column-range map
+  std::int64_t discs_moved = 0;     ///< discs that changed rank ownership
+  /// The analytic Eq.-C accounting: what migrating from the old to the new
+  /// stripes costs given the per-column data sizes (the same model the
+  /// virtual-time LB step charges).
+  lb::MigrationVolume predicted;
+  /// Modeled bytes of the columns ACTUALLY exchanged as messages, summed
+  /// per rank (sent + received, mirroring MigrationVolume::per_pe_bytes) —
+  /// computed from the weights carried by the migration messages, so a test
+  /// can validate the analytic prediction against observed traffic.
+  std::vector<double> observed_per_rank_bytes;
+  /// Σ modeled bytes over exchanged columns, each counted once (the
+  /// observed counterpart of MigrationVolume::total_bytes).
+  double observed_column_bytes = 0.0;
+  /// Real payload bytes this rank put on / took off the wire during the
+  /// rebalance (column weights + serialized discs), summed over all ranks.
+  double observed_payload_bytes = 0.0;
+};
+
+/// The rank-local final report every rank replicates (bit-identical to the
+/// serial domain's observers under the determinism contract).
+struct DistributedReport {
+  std::int64_t eroded_cells = 0;
+  std::int64_t rock_cells_remaining = 0;
+  std::int64_t frontier_size = 0;
+  double total_workload = 0.0;
+};
+
+class DistributedDomain {
+ public:
+  /// Collective: every rank of `comm` constructs with the same `config` and
+  /// an equivalent `partitioner`. The initial stripes are cut against the
+  /// initial column weights (even targets), exactly like ShardedDomain.
+  DistributedDomain(DomainConfig config, runtime::Comm& comm,
+                    std::shared_ptr<const lb::Partitioner> partitioner);
+
+  /// Collective: one erosion iteration (local discs stepped serially).
+  /// Returns the GLOBAL eroded-cell count — the value the serial
+  /// ErosionDomain::step(rng) returns.
+  std::int64_t step(support::Rng& rng);
+
+  /// Collective: one erosion iteration, local discs stepped across `pool`
+  /// (a rank-local pool). Bit-identical to the serial overload.
+  std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
+
+  /// Collective: recut the rank stripes against the current column weights
+  /// (even targets) and migrate column weights + disc ownership as real
+  /// messages. The stepping trajectory is unaffected.
+  DistributedReshardResult rebalance();
+
+  /// Collective variant taking the full-width weights already reassembled
+  /// by `allgather_column_weights()` — callers that just gathered them
+  /// (e.g. the LB driver) avoid a second gather/broadcast round. Every
+  /// rank must pass identical contents.
+  DistributedReshardResult rebalance(std::span<const double> full_weights);
+
+  // ---- observers (rank-local, no communication) --------------------------
+
+  [[nodiscard]] const DomainConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::int64_t columns() const noexcept {
+    return config_.columns;
+  }
+  [[nodiscard]] int rank() const noexcept { return comm_->rank(); }
+  [[nodiscard]] int ranks() const noexcept { return comm_->size(); }
+
+  /// Current rank → column-range boundaries (size ranks + 1, replicated).
+  [[nodiscard]] const lb::StripeBoundaries& rank_boundaries() const noexcept {
+    return boundaries_;
+  }
+  /// Global indices of the discs this rank owns, ascending.
+  [[nodiscard]] std::span<const std::size_t> local_discs() const noexcept {
+    return local_disc_ids_;
+  }
+  /// The rank owning disc `disc` (replicated knowledge).
+  [[nodiscard]] int owner_of_disc(std::size_t disc) const;
+  /// The rank owning column `x`.
+  [[nodiscard]] int owner_of_column(std::int64_t x) const;
+
+  /// This rank's column weights, spanning [first_column, first_column + n).
+  [[nodiscard]] std::span<const double> local_column_weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] std::int64_t first_column() const noexcept {
+    return boundaries_[static_cast<std::size_t>(rank())];
+  }
+
+  /// Replicated global counters — all bit-identical to the serial domain.
+  [[nodiscard]] double total_workload() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t eroded_cells() const noexcept { return eroded_; }
+  [[nodiscard]] std::int64_t rock_cells_remaining() const noexcept {
+    return rock_remaining_;
+  }
+  [[nodiscard]] std::int64_t frontier_size() const noexcept;
+  /// Current frontier size of any disc (replicated metadata — this is what
+  /// the lockstep stream split burns per disc).
+  [[nodiscard]] std::int64_t disc_frontier_size(std::size_t disc) const;
+
+  [[nodiscard]] DistributedReport report() const noexcept {
+    return {eroded_, rock_remaining_, frontier_size(), total_};
+  }
+
+  // ---- collectives -------------------------------------------------------
+
+  /// Collective: reassemble the full-width column weights at `root` (every
+  /// rank must call; non-roots return {}). This is the real-message
+  /// counterpart of ErosionDomain::column_weights() for the monitoring and
+  /// LB layers.
+  [[nodiscard]] std::vector<double> gather_column_weights(int root) const;
+
+  /// Collective: reassemble the full-width column weights on EVERY rank
+  /// (gather at rank 0 + broadcast).
+  [[nodiscard]] std::vector<double> allgather_column_weights() const;
+
+ private:
+  /// Recompute disc_owner_/local ids from boundaries_ (disc → stripe holding
+  /// its center column). `keep` holds the still-local DiscStates by global
+  /// id, already including received hand-offs.
+  void assign_local_discs();
+  /// Apply `count` eroded cells to column `x` of my stripe, one cell at a
+  /// time (the serial commit's per-cell accounting, so FP results agree).
+  void credit_column(std::int64_t x, std::int64_t count);
+
+  DomainConfig config_;
+  runtime::Comm* comm_;
+  std::shared_ptr<const lb::Partitioner> partitioner_;
+  lb::StripeBoundaries boundaries_;
+
+  std::vector<std::size_t> local_disc_ids_;  ///< ascending global ids
+  std::vector<DiscState> local_discs_;       ///< parallel to local_disc_ids_
+  std::vector<int> disc_owner_;              ///< replicated, per global disc
+  std::vector<std::int64_t> frontier_sizes_; ///< replicated, per global disc
+
+  std::vector<double> weights_;  ///< my stripe only
+  double total_ = 0.0;           ///< replicated global Wtot
+  std::int64_t rock_remaining_ = 0;
+  std::int64_t eroded_ = 0;
+};
+
+}  // namespace ulba::erosion

@@ -48,52 +48,14 @@ ErosionDomain::ErosionDomain(DomainConfig config) : config_(std::move(config)) {
   for (double w : weights_) total_ += w;
 }
 
-ErosionDomain::Cell ErosionDomain::DiscState::at(std::int64_t lx,
-                                                 std::int64_t ly) const {
-  if (lx < 0 || ly < 0 || lx >= side || ly >= side) return Cell::kOutside;
-  return cells[static_cast<std::size_t>(ly * side + lx)];
-}
-
 void ErosionDomain::build_disc(const RockDisc& disc) {
-  DiscState d;
-  d.side = 2 * disc.radius + 1;
-  d.x0 = disc.cx - disc.radius;
-  d.y0 = disc.cy - disc.radius;
-  d.erosion_prob = disc.erosion_prob;
-  d.cells.assign(static_cast<std::size_t>(d.side * d.side), Cell::kOutside);
-
-  const auto r2 = static_cast<double>(disc.radius) *
-                  static_cast<double>(disc.radius);
-  for (std::int64_t ly = 0; ly < d.side; ++ly) {
-    for (std::int64_t lx = 0; lx < d.side; ++lx) {
-      const auto dx = static_cast<double>(lx - disc.radius);
-      const auto dy = static_cast<double>(ly - disc.radius);
-      if (dx * dx + dy * dy <= r2) {
-        d.cells[static_cast<std::size_t>(ly * d.side + lx)] =
-            Cell::kRockInterior;
-        ++d.rock_remaining;
+  DiscState d = build_disc_state(disc);
+  // Rock cells are cost-free: subtract them from the all-fluid baseline,
+  // one cell at a time (the same per-cell accounting commit_disc reverses).
+  for (std::int64_t ly = 0; ly < d.side; ++ly)
+    for (std::int64_t lx = 0; lx < d.side; ++lx)
+      if (d.at(lx, ly) != Cell::kOutside)
         weights_[static_cast<std::size_t>(d.x0 + lx)] -= config_.flop_per_cell;
-      }
-    }
-  }
-
-  // Promote boundary rock (any non-rock 4-neighbour) to frontier.
-  for (std::int64_t ly = 0; ly < d.side; ++ly) {
-    for (std::int64_t lx = 0; lx < d.side; ++lx) {
-      const auto idx = static_cast<std::size_t>(ly * d.side + lx);
-      if (d.cells[idx] != Cell::kRockInterior) continue;
-      const bool touches_fluid =
-          d.at(lx - 1, ly) == Cell::kOutside ||
-          d.at(lx + 1, ly) == Cell::kOutside ||
-          d.at(lx, ly - 1) == Cell::kOutside ||
-          d.at(lx, ly + 1) == Cell::kOutside;
-      if (touches_fluid) {
-        d.cells[idx] = Cell::kRockFrontier;
-        d.frontier.push_back(static_cast<std::int32_t>(idx));
-      }
-    }
-  }
-
   rock_remaining_ += d.rock_remaining;
   discs_.push_back(std::move(d));
 }
@@ -132,73 +94,6 @@ std::int64_t ErosionDomain::step(support::Rng& rng,
     eroded += commit_disc(discs_[i], to_erode[i]);
   eroded_ += eroded;
   return eroded;
-}
-
-std::vector<std::int32_t> ErosionDomain::decide_disc(const DiscState& d,
-                                                     support::Rng& rng) const {
-  // Decide against the pre-step state (synchronous CA semantics). "Each
-  // fluid cell computes a probabilistic erosion of neighboring rock cells":
-  // a rock cell takes one erosion trial per adjacent fluid face. A refined
-  // neighbour consists of four finer cells, two of which border this rock
-  // cell — refinement therefore doubles that face's trials, which is
-  // precisely the paper's "creating even more imbalance" acceleration.
-  std::vector<std::int32_t> to_erode;
-  if (d.frontier.empty()) return to_erode;
-  const auto fluid_faces = [&](std::int64_t lx, std::int64_t ly) -> int {
-    switch (d.at(lx, ly)) {
-      case Cell::kOutside:
-        return 1;
-      case Cell::kRefined:
-        return 2;
-      default:
-        return 0;
-    }
-  };
-  for (const std::int32_t idx : d.frontier) {
-    const std::int64_t lx = idx % d.side;
-    const std::int64_t ly = idx / d.side;
-    const int trials = fluid_faces(lx - 1, ly) + fluid_faces(lx + 1, ly) +
-                       fluid_faces(lx, ly - 1) + fluid_faces(lx, ly + 1);
-    if (trials == 0) continue;  // fully enclosed (cannot happen for
-                                // frontier cells, but cheap)
-    const double p_eff = 1.0 - std::pow(1.0 - d.erosion_prob, trials);
-    if (rng.bernoulli(p_eff)) to_erode.push_back(idx);
-  }
-  return to_erode;
-}
-
-void ErosionDomain::apply_disc(DiscState& d,
-                               const std::vector<std::int32_t>& to_erode) {
-  if (to_erode.empty()) return;
-
-  // Rock → refined fluid.
-  for (const std::int32_t idx : to_erode) {
-    d.cells[static_cast<std::size_t>(idx)] = Cell::kRefined;
-    --d.rock_remaining;
-  }
-
-  // Newly exposed interior rock joins the frontier.
-  const auto expose = [&](std::int64_t lx, std::int64_t ly) {
-    if (lx < 0 || ly < 0 || lx >= d.side || ly >= d.side) return;
-    const auto idx = static_cast<std::size_t>(ly * d.side + lx);
-    if (d.cells[idx] == Cell::kRockInterior) {
-      d.cells[idx] = Cell::kRockFrontier;
-      d.frontier.push_back(static_cast<std::int32_t>(idx));
-    }
-  };
-  for (const std::int32_t idx : to_erode) {
-    const std::int64_t lx = idx % d.side;
-    const std::int64_t ly = idx / d.side;
-    expose(lx - 1, ly);
-    expose(lx + 1, ly);
-    expose(lx, ly - 1);
-    expose(lx, ly + 1);
-  }
-
-  // Compact the frontier list: drop everything that is no longer frontier.
-  std::erase_if(d.frontier, [&](std::int32_t idx) {
-    return d.cells[static_cast<std::size_t>(idx)] != Cell::kRockFrontier;
-  });
 }
 
 std::int64_t ErosionDomain::commit_disc(

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "erosion/disc.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -102,35 +103,14 @@ class ErosionDomain {
  private:
   // ShardedDomain drives the decide/apply/commit phases across shards while
   // preserving this class's serial trajectory; it is the one external user of
-  // the phase methods below.
+  // the disc states and the commit phase. (The disc mechanics themselves —
+  // DiscState, build/decide/apply — live in erosion/disc.hpp so the
+  // SPMD-distributed stepper shares them without holding a full domain.)
   friend class ShardedDomain;
 
-  enum class Cell : std::uint8_t {
-    kOutside = 0,       ///< inside the bounding box but not rock (fluid)
-    kRockInterior = 1,  ///< rock with no fluid contact yet
-    kRockFrontier = 2,  ///< rock touching fluid — erodible this step
-    kRefined = 3,       ///< eroded: refinement_factor finer fluid cells
-  };
-
-  struct DiscState {
-    std::int64_t x0 = 0, y0 = 0;  ///< bounding-box origin in the domain
-    std::int64_t side = 0;        ///< box is side × side
-    double erosion_prob = 0.0;
-    std::vector<Cell> cells;            ///< box cell states
-    std::vector<std::int32_t> frontier; ///< indices of kRockFrontier cells
-    std::int64_t rock_remaining = 0;
-
-    [[nodiscard]] Cell at(std::int64_t lx, std::int64_t ly) const;
-  };
-
+  /// Rasterize one disc (erosion/disc.hpp) and fold its rock footprint into
+  /// the per-column workload baseline.
   void build_disc(const RockDisc& disc);
-  /// Phase 1 — decide which frontier cells erode, against the pre-step state.
-  [[nodiscard]] std::vector<std::int32_t> decide_disc(const DiscState& d,
-                                                      support::Rng& rng) const;
-  /// Phases 2+3, disc-local — flip cells to refined, expose interior rock,
-  /// compact the frontier. Touches nothing outside `d`.
-  static void apply_disc(DiscState& d,
-                         const std::vector<std::int32_t>& to_erode);
   /// Commit a disc's erosion to the shared per-column workload accounting.
   /// Must run serially, in disc order, for deterministic FP summation.
   std::int64_t commit_disc(const DiscState& d,

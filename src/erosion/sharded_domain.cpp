@@ -62,8 +62,8 @@ void ShardedDomain::decide_and_apply_shard(
     std::size_t shard, std::span<support::Rng> rngs,
     std::vector<std::vector<std::int32_t>>& erode) {
   for (const std::size_t i : shard_discs_[shard]) {
-    erode[i] = domain_.decide_disc(domain_.discs_[i], rngs[i]);
-    ErosionDomain::apply_disc(domain_.discs_[i], erode[i]);
+    erode[i] = decide_disc(domain_.discs_[i], rngs[i]);
+    apply_disc(domain_.discs_[i], erode[i]);
   }
 }
 

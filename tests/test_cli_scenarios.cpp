@@ -112,6 +112,24 @@ TEST(CliGolden, ErosionSharded) {
        "4", "--partitioner", "rcb", "--threads", "2"});
 }
 
+TEST(CliGolden, ErosionDistributed) {
+  // The SPMD-distributed stepper: 4 ranks, each with a 2-thread pool. The
+  // virtual-time numbers are bit-identical to the unsharded serial run (see
+  // DistributedReportMatchesSerialReport below); the golden additionally
+  // pins the distributed header and the rank-migration accounting.
+  expect_matches_golden(
+      "erosion_distributed",
+      {"erosion", "--pes", "16", "--iterations", "60", "--columns-per-pe",
+       "48", "--rows", "64", "--rock-radius", "16", "--seed", "3", "--ranks",
+       "4", "--threads", "2"});
+}
+
+TEST(CliGolden, IntervalQuality) {
+  expect_matches_golden("interval_quality",
+                        {"interval-quality", "--instances", "40",
+                         "--sa-steps", "600"});
+}
+
 TEST(CliGolden, DynamicAlpha) {
   // 120 iterations keep the run fast while giving the model policy a long
   // enough horizon to pick a nonzero α mid-run (the trace in the golden).
@@ -173,6 +191,35 @@ TEST(CliScenarios, ShardedReportMatchesSerialReport) {
       return out;
     };
     EXPECT_EQ(strip(serial), strip(sharded)) << "--shards " << shards;
+  }
+}
+
+// The distributed run's report equals the serial run's, modulo the
+// distributed-specific lines — the app-level face of the determinism
+// contract (`test_distributed_erosion` locks the RunResult itself).
+TEST(CliScenarios, DistributedReportMatchesSerialReport) {
+  const std::vector<std::string> base{
+      "erosion", "--pes",        "16", "--iterations", "60",
+      "--columns-per-pe", "48",  "--rows", "64", "--rock-radius", "16",
+      "--seed", "3"};
+  const std::string serial = run_cli(base);
+  for (const char* ranks : {"2", "4", "8"}) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), {"--ranks", ranks});
+    const std::string distributed = run_cli(args);
+    const auto strip = [](const std::string& text) {
+      std::istringstream in(text);
+      std::string line, out;
+      while (std::getline(in, line)) {
+        if (line.find("distributed stepping") != std::string::npos ||
+            line.find("rank migration") != std::string::npos ||
+            line.find("disc move(s)") != std::string::npos || line.empty())
+          continue;
+        out += line + "\n";
+      }
+      return out;
+    };
+    EXPECT_EQ(strip(serial), strip(distributed)) << "--ranks " << ranks;
   }
 }
 
@@ -259,6 +306,39 @@ TEST(CliScenarios, ShardsAndPartitionerFlagsAreValidated) {
   EXPECT_THROW(run({"erosion", "--mt", "--shards", "2"}, out),
                std::invalid_argument);
   EXPECT_THROW(run({"erosion", "--mt", "--partitioner", "rcb"}, out),
+               std::invalid_argument);
+}
+
+TEST(CliScenarios, RanksFlagIsValidatedAndExclusive) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"erosion", "--ranks", "0"}, out), std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--ranks", "65"}, out),
+               std::invalid_argument);
+  // AppConfig::validate: ranks must not exceed the PE count.
+  EXPECT_THROW(run({"erosion", "--pes", "8", "--ranks", "16"}, out),
+               std::invalid_argument);
+  // The distributed stepper is exclusive with both --mt and --shards.
+  EXPECT_THROW(run({"erosion", "--mt", "--ranks", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--shards", "2", "--ranks", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"quickstart", "--ranks", "-1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"quickstart", "--shards", "2", "--ranks", "2"}, out),
+               std::invalid_argument);
+}
+
+TEST(CliScenarios, IntervalQualityRejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"interval-quality", "--frobnicate", "1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"interval-quality", "--instances", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"interval-quality", "--sa-steps", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"interval-quality", "--seed", "-1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"interval-quality", "positional"}, out),
                std::invalid_argument);
 }
 

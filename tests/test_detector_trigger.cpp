@@ -5,6 +5,7 @@
 
 #include "core/detector.hpp"
 #include "core/trigger.hpp"
+#include "erosion/app.hpp"
 
 namespace ulba::core {
 namespace {
@@ -171,6 +172,101 @@ INSTANTIATE_TEST_SUITE_P(
     PopulationsAndFactors, DetectorSweep,
     ::testing::Combine(::testing::Values(16, 32, 64, 256, 2048),
                        ::testing::Values(5.0, 20.0, 1000.0)));
+
+// ---------------------------------------------------------------------------
+// The trigger threshold as the erosion app records it per iteration
+// (IterationRecord::threshold): average LB cost plus, for ULBA with
+// anticipation, the Eq. (11) overhead at the α the configured AlphaPolicy
+// would apply — the ROADMAP follow-up that made the `model` policy feed the
+// trigger, not only the LB step.
+// ---------------------------------------------------------------------------
+
+erosion::AppConfig threshold_probe_config() {
+  erosion::AppConfig cfg;
+  cfg.pe_count = 16;
+  cfg.columns_per_pe = 48;
+  cfg.rows = 64;
+  cfg.rock_radius = 16;
+  cfg.iterations = 60;
+  cfg.seed = 3;
+  cfg.method = erosion::Method::kUlba;
+  cfg.bytes_per_cell = 256.0;
+  cfg.comm.latency_s = 1e-4;
+  cfg.comm.bandwidth_Bps = 2e9;
+  return cfg;
+}
+
+TEST(TriggerThreshold, RecordedForEveryIteration) {
+  const erosion::AppConfig cfg = threshold_probe_config();
+  const erosion::RunResult run = erosion::ErosionApp(cfg).run();
+  ASSERT_EQ(run.iterations.size(), static_cast<std::size_t>(cfg.iterations));
+  for (const erosion::IterationRecord& rec : run.iterations)
+    EXPECT_GT(rec.threshold, 0.0);
+}
+
+TEST(TriggerThreshold, AnticipationRaisesTheFixedPolicyThreshold) {
+  erosion::AppConfig with = threshold_probe_config();
+  erosion::AppConfig without = threshold_probe_config();
+  without.anticipate_overhead_in_trigger = false;
+  const erosion::RunResult r_with = erosion::ErosionApp(with).run();
+  const erosion::RunResult r_without = erosion::ErosionApp(without).run();
+
+  // The Eq. (11) overhead is non-negative, and once the detector flags the
+  // strong rock it must be strictly positive at some iteration. (The two
+  // runs share the trajectory only until their LB schedules diverge, so the
+  // elementwise comparison stops at the first divergence.)
+  std::size_t comparable = r_with.iterations.size();
+  for (std::size_t i = 0; i < r_with.iterations.size(); ++i) {
+    if (r_with.iterations[i].lb_performed !=
+        r_without.iterations[i].lb_performed) {
+      comparable = i + 1;
+      break;
+    }
+  }
+  bool strictly_raised = false;
+  for (std::size_t i = 0; i < comparable; ++i) {
+    EXPECT_GE(r_with.iterations[i].threshold,
+              r_without.iterations[i].threshold)
+        << "iteration " << i;
+    strictly_raised |= r_with.iterations[i].threshold >
+                       r_without.iterations[i].threshold;
+  }
+  EXPECT_TRUE(strictly_raised)
+      << "the detector never fed an overhead into the trigger";
+}
+
+TEST(TriggerThreshold, StandardMethodIgnoresAnticipation) {
+  erosion::AppConfig cfg = threshold_probe_config();
+  cfg.method = erosion::Method::kStandard;
+  erosion::AppConfig off = cfg;
+  off.anticipate_overhead_in_trigger = false;
+  const erosion::RunResult a = erosion::ErosionApp(cfg).run();
+  const erosion::RunResult b = erosion::ErosionApp(off).run();
+  ASSERT_EQ(a.iterations.size(), b.iterations.size());
+  for (std::size_t i = 0; i < a.iterations.size(); ++i)
+    EXPECT_EQ(a.iterations[i].threshold, b.iterations[i].threshold)
+        << "iteration " << i;
+}
+
+TEST(TriggerThreshold, ModelPolicyFeedsTheTrigger) {
+  // Same seed/config, different α policy ⇒ the recorded thresholds must
+  // diverge once the detector sees the overload: the fixed policy charges
+  // Eq. (11) at the base α while the model policy charges it at the α its
+  // grid search actually recommends.
+  erosion::AppConfig fixed = threshold_probe_config();
+  erosion::AppConfig model = threshold_probe_config();
+  model.alpha_policy = erosion::AlphaPolicy::kGossipModel;
+  const erosion::RunResult r_fixed = erosion::ErosionApp(fixed).run();
+  const erosion::RunResult r_model = erosion::ErosionApp(model).run();
+  bool diverged = false;
+  const std::size_t n =
+      std::min(r_fixed.iterations.size(), r_model.iterations.size());
+  for (std::size_t i = 0; i < n && !diverged; ++i)
+    diverged = r_fixed.iterations[i].threshold !=
+               r_model.iterations[i].threshold;
+  EXPECT_TRUE(diverged)
+      << "the model policy never changed the trigger threshold";
+}
 
 }  // namespace
 }  // namespace ulba::core

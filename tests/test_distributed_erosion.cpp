@@ -1,0 +1,418 @@
+// Partition-invariance property suite for erosion::DistributedDomain — the
+// cross-process extension of the sharded harness (test_sharded_erosion).
+//
+// The load-bearing claim: for EVERY (rank count, partitioner, per-rank
+// thread count), stepping the domain distributed over the SPMD runtime is
+// BIT-identical to the serial shared-stream ErosionDomain::step(rng) — the
+// same global counters, the same per-column FLOP accounting (exact FP
+// equality), and the same master-RNG post-run state on every rank — and
+// this survives mid-run rebalances that migrate disc ownership and column
+// weights as real runtime::Mailbox messages. On top of that, the analytic
+// lb::migration_volume prediction must match the bytes the rebalance
+// actually exchanged.
+#include "erosion/distributed_domain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "erosion/app.hpp"
+#include "erosion/domain.hpp"
+#include "lb/partitioners.hpp"
+#include "runtime/spmd.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace ulba::erosion {
+namespace {
+
+std::shared_ptr<const lb::Partitioner> shared_partitioner(
+    const std::string& name) {
+  return std::shared_ptr<const lb::Partitioner>(lb::make_partitioner(name));
+}
+
+/// Serial shared-stream reference: the domain after `steps` iterations plus
+/// the master stream's post-run state.
+struct SerialReference {
+  std::vector<double> weights;
+  double total = 0.0;
+  std::int64_t eroded = 0;
+  std::int64_t rock_remaining = 0;
+  std::int64_t frontier = 0;
+  std::vector<std::uint64_t> post_draws;
+};
+
+SerialReference serial_reference(const DomainConfig& cfg, std::uint64_t seed,
+                                 int steps) {
+  ErosionDomain domain(cfg);
+  support::Rng rng(seed);
+  for (int s = 0; s < steps; ++s) (void)domain.step(rng);
+  SerialReference ref;
+  ref.weights.assign(domain.column_weights().begin(),
+                     domain.column_weights().end());
+  ref.total = domain.total_workload();
+  ref.eroded = domain.eroded_cells();
+  ref.rock_remaining = domain.rock_cells_remaining();
+  ref.frontier = domain.frontier_size();
+  for (int d = 0; d < 4; ++d) ref.post_draws.push_back(rng());
+  return ref;
+}
+
+/// Every rank checks its replicated report and master stream against the
+/// serial reference; rank 0 additionally gathers and compares the full
+/// per-column weights bit-for-bit.
+void expect_matches_reference(const SerialReference& ref,
+                              const DistributedDomain& domain,
+                              support::Rng rng, const std::string& what) {
+  EXPECT_EQ(ref.eroded, domain.eroded_cells()) << what;
+  EXPECT_EQ(ref.rock_remaining, domain.rock_cells_remaining()) << what;
+  EXPECT_EQ(ref.frontier, domain.frontier_size()) << what;
+  EXPECT_EQ(ref.total, domain.total_workload()) << what;
+  for (std::size_t d = 0; d < ref.post_draws.size(); ++d)
+    ASSERT_EQ(ref.post_draws[d], rng())
+        << what << " — post-run draw " << d << " on rank " << domain.rank();
+  const std::vector<double> full = domain.gather_column_weights(0);
+  if (domain.rank() == 0) {
+    ASSERT_EQ(ref.weights.size(), full.size()) << what;
+    for (std::size_t x = 0; x < full.size(); ++x)
+      ASSERT_EQ(ref.weights[x], full[x]) << what << " — column " << x;
+  }
+}
+
+/// Rank 0 collects every rank's local disc ids and asserts they form a
+/// complete disjoint cover consistent with the stripe boundaries.
+void expect_complete_disjoint_cover(runtime::Comm& comm,
+                                    const DistributedDomain& domain) {
+  const auto local = domain.local_discs();
+  // Consistency of the replicated ownership view with my local set.
+  for (const std::size_t disc : local)
+    EXPECT_EQ(domain.owner_of_disc(disc), domain.rank());
+  // Boundaries must partition the column range.
+  const auto& b = domain.rank_boundaries();
+  ASSERT_EQ(static_cast<int>(b.size()), domain.ranks() + 1);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), domain.columns());
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LT(b[i], b[i + 1]);
+  // Gather the local id sets at rank 0 (simple tagged exchange).
+  constexpr int kTag = 7;
+  std::vector<std::int64_t> ids(local.begin(), local.end());
+  if (domain.rank() != 0) {
+    comm.send_span<std::int64_t>(0, kTag, ids);
+    return;
+  }
+  std::vector<int> owners(domain.config().discs.size(), 0);
+  const auto count_ids = [&](const std::vector<std::int64_t>& rank_ids,
+                             int rank) {
+    for (const std::int64_t id : rank_ids) {
+      ASSERT_LT(static_cast<std::size_t>(id), owners.size());
+      ++owners[static_cast<std::size_t>(id)];
+      // The owning stripe must hold the disc's center column.
+      const std::int64_t cx =
+          domain.config().discs[static_cast<std::size_t>(id)].cx;
+      EXPECT_GE(cx, b[static_cast<std::size_t>(rank)]);
+      EXPECT_LT(cx, b[static_cast<std::size_t>(rank) + 1]);
+    }
+  };
+  count_ids(ids, 0);
+  for (int s = 1; s < domain.ranks(); ++s)
+    count_ids(comm.recv_vector<std::int64_t>(s, kTag), s);
+  for (std::size_t disc = 0; disc < owners.size(); ++disc)
+    EXPECT_EQ(owners[disc], 1)
+        << "disc " << disc << " covered by " << owners[disc] << " ranks";
+}
+
+/// A domain whose discs straddle rank-stripe boundaries by construction:
+/// radius-10 discs over 64 columns, so the 8-rank even cut (width 8) slices
+/// straight through both bounding boxes — every step then exchanges halo
+/// deltas for columns owned by up to three other ranks.
+DomainConfig adversarial_boundary_config() {
+  DomainConfig cfg;
+  cfg.columns = 64;
+  cfg.rows = 72;
+  cfg.discs = {{16, 16, 10, 0.35}, {40, 48, 10, 0.3}};
+  cfg.validate();
+  return cfg;
+}
+
+TEST(DistributedErosion, CoverIsCompleteAndDisjointAcrossRanks) {
+  support::Rng config_rng(2024);
+  for (int trial = 0; trial < 4; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const int ranks : {1, 2, 3, 5, 8}) {
+        if (ranks > cfg.columns) continue;
+        runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+          DistributedDomain domain(cfg, comm, shared_partitioner(name));
+          expect_complete_disjoint_cover(comm, domain);
+        });
+      }
+    }
+  }
+}
+
+TEST(DistributedErosion, BitIdenticalToSerialForEveryRankPartitionerPool) {
+  constexpr int kSteps = 14;
+  support::Rng config_rng(77);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 5000 + static_cast<std::uint64_t>(trial);
+    const SerialReference ref = serial_reference(cfg, seed, kSteps);
+
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const int ranks : {1, 2, 4, 8}) {
+        for (const std::size_t threads : {1u, 2u}) {
+          runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+            DistributedDomain domain(cfg, comm, shared_partitioner(name));
+            support::Rng rng(seed);
+            support::ThreadPool pool(threads);
+            std::int64_t eroded_total = 0;
+            for (int s = 0; s < kSteps; ++s)
+              eroded_total += domain.step(rng, pool);
+            EXPECT_EQ(eroded_total, ref.eroded);
+            expect_matches_reference(
+                ref, domain, rng,
+                "trial " + std::to_string(trial) + ", partitioner " + name +
+                    ", ranks " + std::to_string(ranks) + ", threads " +
+                    std::to_string(threads));
+          });
+        }
+      }
+    }
+  }
+}
+
+TEST(DistributedErosion, MidRunMigrationKeepsTrajectoryAndCover) {
+  constexpr int kSteps = 24;
+  support::Rng config_rng(5150);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 42 + static_cast<std::uint64_t>(trial);
+    const SerialReference ref = serial_reference(cfg, seed, kSteps);
+
+    for (const std::string name : {"greedy", "rcb", "optimal", "stripe"}) {
+      const int ranks = 4;
+      if (ranks > cfg.columns) continue;
+      runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+        DistributedDomain domain(cfg, comm, shared_partitioner(name));
+        support::Rng rng(seed);
+        support::ThreadPool pool(2);
+        for (int s = 0; s < kSteps; ++s) {
+          (void)domain.step(rng, pool);
+          if (s % 6 == 5) {
+            const DistributedReshardResult res = domain.rebalance();
+            EXPECT_EQ(res.boundaries.size(),
+                      static_cast<std::size_t>(ranks) + 1);
+            EXPECT_GE(res.discs_moved, 0);
+            expect_complete_disjoint_cover(comm, domain);
+          }
+        }
+        expect_matches_reference(ref, domain, rng,
+                                 std::string("rebalance, partitioner ") +
+                                     name + ", trial " +
+                                     std::to_string(trial));
+      });
+    }
+  }
+}
+
+TEST(DistributedErosion, HaloExchangeOnAdversarialBoundaryDiscs) {
+  // Both discs straddle multiple 8-column stripes, so every step routes
+  // eroded-cell deltas to several owning ranks; the weights must still be
+  // bit-equal to the serial run, column by column.
+  const DomainConfig cfg = adversarial_boundary_config();
+  constexpr int kSteps = 18;
+  const std::uint64_t seed = 99;
+  const SerialReference ref = serial_reference(cfg, seed, kSteps);
+
+  for (const std::string name : {"stripe", "greedy"}) {
+    runtime::spmd_run(8, [&](runtime::Comm& comm) {
+      DistributedDomain domain(cfg, comm, shared_partitioner(name));
+      // Sanity: under the even-stripe cut the first disc's bounding box
+      // [6, 26] really does span several stripes.
+      if (name == "stripe") {
+        EXPECT_NE(domain.owner_of_column(6), domain.owner_of_column(25));
+      }
+      support::Rng rng(seed);
+      for (int s = 0; s < kSteps; ++s) (void)domain.step(rng);
+      expect_matches_reference(ref, domain, rng,
+                               "adversarial boundary discs, " + name);
+    });
+  }
+}
+
+TEST(DistributedErosion, RebalanceMigratesStateAsMessagesAndMatchesModel) {
+  // Erode with a strongly erodible disc so the weight profile skews and a
+  // weighted recut MUST move boundaries (and with them columns and at least
+  // one disc) away from the initial even cut.
+  DomainConfig cfg;
+  cfg.columns = 96;
+  cfg.rows = 64;
+  cfg.discs = {{14, 32, 11, 0.5},
+               {44, 32, 11, 0.02},
+               {76, 32, 11, 0.02}};
+  cfg.validate();
+
+  runtime::spmd_run(4, [&](runtime::Comm& comm) {
+    // The greedy partitioner cuts against the CURRENT weights, so after the
+    // strong disc erodes (and gains refined workload) the recut must move
+    // the boundaries it chose for the initial profile.
+    DistributedDomain domain(cfg, comm, shared_partitioner("greedy"));
+    support::Rng rng(7);
+    for (int s = 0; s < 16; ++s) (void)domain.step(rng);
+
+    const lb::StripeBoundaries before = domain.rank_boundaries();
+    const DistributedReshardResult res = domain.rebalance();
+    EXPECT_NE(before, res.boundaries)
+        << "the skewed profile should move the even cut";
+    EXPECT_GE(res.discs_moved, 1)
+        << "the recut should hand at least one disc to a new owner";
+
+    // The analytic prediction must match the columns actually exchanged —
+    // totals and the per-rank sent+received vector.
+    ASSERT_EQ(res.observed_per_rank_bytes.size(),
+              res.predicted.per_pe_bytes.size());
+    const double tol = 1e-9 * (1.0 + res.predicted.total_bytes);
+    EXPECT_NEAR(res.predicted.total_bytes, res.observed_column_bytes, tol);
+    for (std::size_t p = 0; p < res.observed_per_rank_bytes.size(); ++p)
+      EXPECT_NEAR(res.predicted.per_pe_bytes[p],
+                  res.observed_per_rank_bytes[p], tol)
+          << "rank " << p;
+    // Real payload crossed the wire: at least one weight column's 8 bytes
+    // per moved column, plus full serialized discs when ownership moved.
+    EXPECT_GT(res.observed_payload_bytes, 0.0);
+
+    // Trajectory unaffected: continue stepping and compare against serial.
+    for (int s = 0; s < 8; ++s) (void)domain.step(rng);
+    const SerialReference ref = serial_reference(cfg, 7, 24);
+    expect_matches_reference(ref, domain, rng, "post-migration stepping");
+  });
+}
+
+TEST(DistributedErosion, DiscHandOffRoundTripsBitExactly) {
+  support::Rng config_rng(123);
+  const DomainConfig cfg = testing::random_domain_config(config_rng);
+  DiscState d = build_disc_state(cfg.discs[0]);
+  support::Rng rng(3);
+  for (int s = 0; s < 5; ++s) apply_disc(d, decide_disc(d, rng));
+  const auto payload = serialize_disc(4, d);
+  const DiscState back = deserialize_disc(payload, 4);
+  EXPECT_EQ(d.x0, back.x0);
+  EXPECT_EQ(d.y0, back.y0);
+  EXPECT_EQ(d.side, back.side);
+  EXPECT_EQ(d.erosion_prob, back.erosion_prob);
+  EXPECT_EQ(d.rock_remaining, back.rock_remaining);
+  EXPECT_EQ(d.cells, back.cells);
+  EXPECT_EQ(d.frontier, back.frontier);
+  EXPECT_THROW((void)deserialize_disc(payload, 5), std::invalid_argument);
+  EXPECT_THROW((void)deserialize_disc(
+                   std::span<const std::byte>(payload).first(10), 4),
+               std::invalid_argument);
+}
+
+/// App-level wiring: AppConfig::ranks > 1 runs the SAME virtual-time LB
+/// machinery (LbController) over the distributed domain, so the whole
+/// RunResult — times, LB schedule, per-step α's, recorded thresholds — must
+/// be BIT-identical to the in-process run, for every rank count and under
+/// every α policy; only the rank-migration accounting is additional.
+TEST(DistributedErosion, AppRunResultBitIdenticalToSerial) {
+  erosion::AppConfig cfg;
+  cfg.pe_count = 16;
+  cfg.columns_per_pe = 48;
+  cfg.rows = 64;
+  cfg.rock_radius = 16;
+  cfg.iterations = 60;
+  cfg.seed = 3;
+  cfg.method = Method::kUlba;
+  cfg.bytes_per_cell = 256.0;
+  cfg.comm.latency_s = 1e-4;
+  cfg.comm.bandwidth_Bps = 2e9;
+
+  for (const AlphaPolicy policy :
+       {AlphaPolicy::kFixed, AlphaPolicy::kGossipModel}) {
+    AppConfig serial_cfg = cfg;
+    serial_cfg.alpha_policy = policy;
+    const RunResult serial = ErosionApp(serial_cfg).run();
+    ASSERT_GE(serial.lb_count, 1)
+        << "the reference run must exercise at least one mid-run LB step";
+
+    for (const std::int64_t ranks : {2, 4, 8}) {
+      AppConfig dist_cfg = serial_cfg;
+      dist_cfg.ranks = ranks;
+      dist_cfg.threads = ranks == 4 ? 2 : 1;  // one variant on rank pools
+      const RunResult dist = ErosionApp(dist_cfg).run();
+      const std::string what = "ranks " + std::to_string(ranks) +
+                               ", policy " + alpha_policy_name(policy);
+
+      EXPECT_EQ(serial.total_seconds, dist.total_seconds) << what;
+      EXPECT_EQ(serial.compute_seconds, dist.compute_seconds) << what;
+      EXPECT_EQ(serial.lb_seconds, dist.lb_seconds) << what;
+      EXPECT_EQ(serial.lb_count, dist.lb_count) << what;
+      EXPECT_EQ(serial.fallback_count, dist.fallback_count) << what;
+      EXPECT_EQ(serial.average_utilization, dist.average_utilization) << what;
+      EXPECT_EQ(serial.eroded_cells, dist.eroded_cells) << what;
+      EXPECT_EQ(serial.final_imbalance, dist.final_imbalance) << what;
+      EXPECT_EQ(serial.lb_iterations, dist.lb_iterations) << what;
+      EXPECT_EQ(serial.lb_alphas, dist.lb_alphas) << what;
+      ASSERT_EQ(serial.iterations.size(), dist.iterations.size()) << what;
+      for (std::size_t i = 0; i < serial.iterations.size(); ++i) {
+        EXPECT_EQ(serial.iterations[i].seconds, dist.iterations[i].seconds)
+            << what << " — iteration " << i;
+        EXPECT_EQ(serial.iterations[i].utilization,
+                  dist.iterations[i].utilization)
+            << what << " — iteration " << i;
+        EXPECT_EQ(serial.iterations[i].degradation,
+                  dist.iterations[i].degradation)
+            << what << " — iteration " << i;
+        EXPECT_EQ(serial.iterations[i].threshold,
+                  dist.iterations[i].threshold)
+            << what << " — iteration " << i;
+        EXPECT_EQ(serial.iterations[i].lb_performed,
+                  dist.iterations[i].lb_performed)
+            << what << " — iteration " << i;
+      }
+      // The distributed accounting is additional: the serial run reports
+      // none, the distributed run recut its stripes at every LB step.
+      EXPECT_EQ(serial.rank_discs_moved, 0) << what;
+      EXPECT_GE(dist.rank_migration_bytes, 0.0) << what;
+      EXPECT_GT(dist.rank_observed_bytes, 0.0)
+          << what << " — an LB step fired, so migrations crossed the wire";
+    }
+  }
+}
+
+TEST(DistributedErosion, AppConfigRejectsRanksShardsCombination) {
+  erosion::AppConfig cfg;
+  cfg.ranks = 2;
+  cfg.shards = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.shards = 1;
+  cfg.ranks = cfg.pe_count + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ranks = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(DistributedErosion, RejectsDegenerateConfigurations) {
+  support::Rng config_rng(99);
+  const DomainConfig cfg = testing::random_domain_config(config_rng);
+  runtime::spmd_run(2, [&](runtime::Comm& comm) {
+    EXPECT_THROW(DistributedDomain(cfg, comm, nullptr),
+                 std::invalid_argument);
+  });
+  DomainConfig tiny;
+  tiny.columns = 8;
+  tiny.rows = 16;
+  tiny.discs = {{4, 8, 1, 0.1}};
+  tiny.validate();
+  runtime::spmd_run(9, [&](runtime::Comm& comm) {
+    EXPECT_THROW(DistributedDomain(tiny, comm, shared_partitioner("stripe")),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace ulba::erosion

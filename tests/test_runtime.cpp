@@ -233,15 +233,18 @@ TEST(PointToPoint, TryRecvIsNonBlocking) {
   spmd_run(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       Message out;
-      EXPECT_FALSE(comm.try_recv_message(1, 9, out));  // nothing sent yet
-      comm.barrier();  // rank 1 sends before this barrier completes…
-      comm.barrier();  // …and we only look after the second barrier
+      // Rank 1 blocks at the first barrier until we arrive, so nothing can
+      // have been sent when this probes (racing the send here was a flake:
+      // a fast rank 1 made the probe consume the message early).
+      EXPECT_FALSE(comm.try_recv_message(1, 9, out));
+      comm.barrier();  // now rank 1 may send…
+      comm.barrier();  // …and its send precedes this barrier's completion
       EXPECT_TRUE(comm.try_recv_message(1, 9, out));
       EXPECT_EQ(out.payload.size(), sizeof(int));
     } else {
+      comm.barrier();  // rank 0 probed empty
       comm.send(0, 9, 42);
-      comm.barrier();
-      comm.barrier();
+      comm.barrier();  // publish the send to rank 0's second probe
     }
   });
 }

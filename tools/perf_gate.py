@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Unified two-tier perf gate: one script, one baseline format, both tiers.
+
+Tier 1 — integration wall clock ("the whole app got slow"):
+    ctest -L integration --output-junit junit.xml
+    python3 tools/perf_gate.py junit.xml bench/baselines/ci_smoke.json
+
+Tier 2 — hot primitives ("one kernel regressed 10x but the suite passes"):
+    ./bench_micro --benchmark_format=json --benchmark_out=bench_micro.json
+    python3 tools/perf_gate.py bench_micro.json bench/baselines/bench_micro.json
+
+The results format is detected from the file name: *.xml parses as a JUnit
+report (seconds per testcase), anything else as google-benchmark JSON
+(cpu_time per iteration run, normalized to ns).
+
+Baseline format (shared by both tiers):
+
+    {
+      "description": "...",
+      "unit": "seconds" | "ns",
+      "max_factor": 2.0,          // global tolerance
+      "floor": 1.0,               // absolute floor in `unit`
+      "entries": {
+        "name": 0.8,                                  // plain baseline
+        "other": {"baseline": 3.0, "max_factor": 4.0} // per-entry tolerance
+      }
+    }
+
+An entry fails the gate when its measurement exceeds
+    max(entry_max_factor * baseline, floor)
+— the factor catches real regressions, the floor keeps tiny measurements
+from flapping on noisy runners, and a per-entry `max_factor` documents the
+known-noisy cases without loosening the whole gate. Measurements missing
+from the baseline fail the gate so the baseline stays in sync with the
+suite; regenerate with --update (per-entry factors are preserved) and
+review the diff like any other code change.
+"""
+
+import json
+import sys
+import xml.etree.ElementTree as ET
+
+UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_junit(path):
+    """name -> wall-clock seconds per testcase."""
+    measured = {}
+    for case in ET.parse(path).getroot().iter("testcase"):
+        name = case.get("name", "")
+        if name:
+            measured[name] = float(case.get("time", "0"))
+    return measured
+
+
+def load_benchmark_json(path):
+    """name -> cpu_time in ns, plain iteration runs only (no aggregates)."""
+    with open(path, encoding="utf-8") as f:
+        results = json.load(f)
+    measured = {}
+    for bench in results.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        scale = UNIT_TO_NS[bench.get("time_unit", "ns")]
+        measured[bench["name"]] = float(bench["cpu_time"]) * scale
+    return measured
+
+
+def entry_fields(entry, global_factor):
+    """(baseline, max_factor) of one entry in either spelling."""
+    if isinstance(entry, dict):
+        return float(entry["baseline"]), float(
+            entry.get("max_factor", global_factor))
+    return float(entry), global_factor
+
+
+def update_baseline(measured, baseline_path, unit):
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+        if baseline.get("unit", unit) != unit:
+            print(f"error: refusing to update {baseline_path} (records "
+                  f"{baseline.get('unit')}) with {unit} measurements — "
+                  "wrong results/baseline pairing?", file=sys.stderr)
+            return 2
+    except FileNotFoundError:
+        baseline = ({"unit": "ns", "max_factor": 5.0, "floor": 5000.0}
+                    if unit == "ns"
+                    else {"unit": "seconds", "max_factor": 2.0, "floor": 1.0})
+    old_entries = baseline.get("entries", {})
+    digits = 4 if unit == "seconds" else 1
+    entries = {}
+    for name, value in sorted(measured.items()):
+        rounded = round(value, digits)
+        old = old_entries.get(name)
+        if isinstance(old, dict):  # keep per-entry tolerances across updates
+            entries[name] = {**old, "baseline": rounded}
+        else:
+            entries[name] = rounded
+    baseline["entries"] = entries
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"baseline updated: {len(entries)} entries -> {baseline_path}")
+    return 0
+
+
+def main() -> int:
+    args = [a for a in sys.argv[1:] if a != "--update"]
+    update = "--update" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    results_path, baseline_path = args
+
+    if results_path.endswith(".xml"):
+        measured, unit = load_junit(results_path), "seconds"
+    else:
+        measured, unit = load_benchmark_json(results_path), "ns"
+    if not measured:
+        print(f"error: no measurements found in {results_path}",
+              file=sys.stderr)
+        return 2
+
+    if update:
+        return update_baseline(measured, baseline_path, unit)
+
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline = json.load(f)
+    if baseline.get("unit", unit) != unit:
+        print(f"error: {results_path} measures {unit} but {baseline_path} "
+              f"records {baseline.get('unit')}", file=sys.stderr)
+        return 2
+    global_factor = float(baseline["max_factor"])
+    floor = float(baseline["floor"])
+    entries = baseline["entries"]
+
+    failures = []
+    width = max((len(n) for n in measured), default=0)
+    for name, value in sorted(measured.items()):
+        if name not in entries:
+            failures.append(f"{name}: no baseline recorded in {baseline_path}"
+                            " (regenerate with --update)")
+            continue
+        base, factor = entry_fields(entries[name], global_factor)
+        limit = max(factor * base, floor)
+        verdict = "ok" if value <= limit else "REGRESSED"
+        print(f"  {name:{width}s} {value:14.3f} {unit}  (baseline "
+              f"{base:.3f}, limit {limit:.3f}, x{factor:g})  {verdict}")
+        if value > limit:
+            failures.append(f"{name}: {value:.3f} {unit} exceeds limit "
+                            f"{limit:.3f} ({factor:g}x baseline {base:.3f})")
+
+    for name in sorted(set(entries) - set(measured)):
+        print(f"  note: baseline entry '{name}' did not run", file=sys.stderr)
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
