@@ -32,37 +32,54 @@ int main() {
   const std::vector<std::int64_t> rank_counts{1, 2, 4, 8};
   const std::vector<std::string> partitioners{"greedy", "rcb", "optimal",
                                               "stripe"};
+  const std::vector<std::string> exchanges{"alltoall", "neighbor"};
   std::printf("\n32 PEs, 1 strong rock, 120 iterations, ULBA alpha 0.4; "
               "every cell vs. the\nin-process reference "
               "(matches = bit-identical RunResult):\n\n");
 
   const auto rows = bench::distributed_erosion_scaling(
-      rank_counts, partitioners, /*pe_count=*/32, /*strong_rocks=*/1,
-      /*seed=*/11, /*iterations=*/120);
+      rank_counts, partitioners, exchanges, /*pe_count=*/32,
+      /*strong_rocks=*/1, /*seed=*/11, /*iterations=*/120);
 
-  support::Table table({"partitioner", "ranks", "wall [s]", "virtual [s]",
-                        "LB calls", "disc moves", "wire [MB]", "matches"});
+  support::Table table({"partitioner", "exchange", "ranks", "wall [s]",
+                        "virtual [s]", "LB calls", "disc moves", "wire [MB]",
+                        "step msgs", "matches"});
   bool all_match = true;
+  bool neighbor_cheaper = true;
   for (const auto& row : rows) {
     all_match &= row.matches_serial != 0;
-    table.add_row({row.partitioner, std::to_string(row.ranks),
+    table.add_row({row.partitioner, row.exchange, std::to_string(row.ranks),
                    support::Table::num(row.wall_seconds, 3),
                    support::Table::num(row.virtual_seconds, 3),
                    std::to_string(row.lb_count),
                    std::to_string(row.discs_moved),
                    support::Table::num(row.observed_mb, 4),
+                   std::to_string(row.step_messages),
                    row.matches_serial != 0 ? "yes" : "NO"});
+  }
+  // Cross-check the tentpole claim cell by cell: for every (partitioner,
+  // ranks >= 4) the neighbor exchange must send fewer step messages.
+  for (const auto& a : rows) {
+    if (a.exchange != "alltoall" || a.ranks < 4) continue;
+    for (const auto& n : rows)
+      if (n.exchange == "neighbor" && n.partitioner == a.partitioner &&
+          n.ranks == a.ranks)
+        neighbor_cheaper &= n.step_messages < a.step_messages;
   }
   std::printf("%s\n", table.render(2).c_str());
 
   std::printf("  (wall clock is host time for the whole standard run — the "
               "SPMD ranks are\n   threads here, so scaling is bounded by "
               "the machine's cores; the virtual\n   seconds and the LB "
-              "schedule are rank-invariant by construction)\n");
-  std::printf("\n  verdict: %s\n",
+              "schedule are rank- and exchange-invariant by "
+              "construction)\n");
+  std::printf("\n  verdict: %s; %s\n",
               all_match
                   ? "DETERMINISM HOLDS (every rank count bit-matches the "
                     "in-process run)"
-                  : "DETERMINISM VIOLATED");
-  return all_match ? 0 : 1;
+                  : "DETERMINISM VIOLATED",
+              neighbor_cheaper
+                  ? "neighbor exchange strictly cheaper for R >= 4"
+                  : "NEIGHBOR EXCHANGE NOT CHEAPER (regression)");
+  return all_match && neighbor_cheaper ? 0 : 1;
 }

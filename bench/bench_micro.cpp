@@ -11,6 +11,7 @@
 #include "core/intervals.hpp"
 #include "core/policy.hpp"
 #include "core/schedule.hpp"
+#include "erosion/distributed_domain.hpp"
 #include "erosion/domain.hpp"
 #include "erosion/sharded_domain.hpp"
 #include "lb/partitioners.hpp"
@@ -18,6 +19,7 @@
 #include "opt/dp_alpha.hpp"
 #include "opt/dp_optimal.hpp"
 #include "opt/schedule_problem.hpp"
+#include "runtime/spmd.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -137,6 +139,37 @@ void BM_ShardedErosionStep(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(domain.step(rng, pool));
 }
 BENCHMARK(BM_ShardedErosionStep)->Arg(1)->Arg(4);
+
+void BM_DistributedErosionStep(benchmark::State& state) {
+  // One measured unit = an 8-step SPMD run over 4 ranks (construction
+  // included — spawning the world is part of what the exchange mode must
+  // amortize). Arg 0 = the all-to-all reference, Arg 1 = neighbor-aware;
+  // the pair documents what the neighbor exchange buys per step.
+  const auto mode = state.range(0) == 0 ? erosion::ExchangeMode::kAllToAll
+                                        : erosion::ExchangeMode::kNeighbor;
+  erosion::DomainConfig cfg;
+  cfg.columns = 16 * 48;
+  cfg.rows = 64;
+  for (int i = 0; i < 16; ++i)
+    cfg.discs.push_back(
+        erosion::RockDisc{24 + 48 * i, 32, 16, i == 7 ? 0.4 : 0.02});
+  for (auto _ : state) {
+    std::int64_t eroded = 0;
+    runtime::spmd_run(4, [&](runtime::Comm& comm) {
+      erosion::DistributedDomain domain(
+          cfg, comm,
+          std::shared_ptr<const lb::Partitioner>(
+              lb::make_partitioner("greedy")),
+          mode);
+      support::Rng rng(4);
+      std::int64_t total = 0;
+      for (int s = 0; s < 8; ++s) total += domain.step(rng);
+      if (comm.rank() == 0) eroded = total;
+    });
+    benchmark::DoNotOptimize(eroded);
+  }
+}
+BENCHMARK(BM_DistributedErosionStep)->Arg(0)->Arg(1);
 
 void BM_OptimalRatioPartition(benchmark::State& state) {
   const auto columns = static_cast<std::size_t>(state.range(0));

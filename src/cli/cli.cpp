@@ -36,7 +36,9 @@ std::string quickstart_help() {
          "                       message-passing runtime (exclusive with "
          "--shards) [1]\n"
          "  --partitioner <name> shard/stripe cutter: greedy|rcb|optimal|"
-         "stripe [greedy]\n\n" +
+         "stripe [greedy]\n"
+         "  --seed <int>         placement seed of the mini erosion run "
+         "[11]\n\n" +
          model_param_help(quickstart_defaults());
 }
 
@@ -44,9 +46,17 @@ std::string erosion_help() {
   return "Run the paper's erosion application (Section IV-B) under the "
          "standard\nLB method and under ULBA, same seed, and compare.\n\n"
          "options:\n"
-         "  --mt                   run on real OS threads (measured wall "
-         "clock)\n"
-         "                         instead of the virtual-time BSP machine\n"
+         "  --mt                   measure real wall clock instead of only "
+         "the\n"
+         "                         virtual-time BSP model: alone, the legacy "
+         "thread-\n"
+         "                         backed app; with --ranks, the measured-"
+         "time\n"
+         "                         distributed mode (per-rank CPU burn + "
+         "steady_clock\n"
+         "                         iteration/LB/migration times, dynamics "
+         "bit-identical\n"
+         "                         to the model-time run)\n"
          "  --pes <int>            processing elements   [32; 8 with --mt]\n"
          "  --strong <int>         strongly erodible rocks [1]\n"
          "  --seed <int>           placement seed          [11]\n"
@@ -76,7 +86,17 @@ std::string erosion_help() {
          "                         (exclusive with --shards and --mt)  [1]\n"
          "  --partitioner <name>   disc-to-shard/rank + LB cutting "
          "algorithm:\n"
-         "                         greedy|rcb|optimal|stripe      [greedy]\n";
+         "                         greedy|rcb|optimal|stripe      [greedy]\n"
+         "  --exchange <mode>      per-step exchange of the distributed "
+         "stepper:\n"
+         "                         neighbor (halo neighbors + one reduce/"
+         "broadcast)\n"
+         "                         or alltoall (O(ranks^2) reference)  "
+         "[neighbor]\n"
+         "  --ns-scale <r>         burn steps per unit workload (--mt)   "
+         "[4.0]\n"
+         "  --migration-scale <r>  burn factor per migrated byte (--mt)  "
+         "[8.0]\n";
 }
 
 std::string intervals_help() {

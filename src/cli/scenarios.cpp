@@ -71,9 +71,10 @@ core::ModelParams intervals_defaults() {
 
 int run_quickstart(const FlagMap& flags, std::ostream& out) {
   flags.require_known(
-      with_model_flags({"threads", "shards", "ranks", "partitioner"}));
+      with_model_flags({"threads", "shards", "ranks", "partitioner", "seed"}));
   const core::ModelParams p =
       parse_model_params(flags, quickstart_defaults());
+  const std::uint64_t seed = flags.get_seed("seed", 11);
   const std::int64_t threads = flags.get_int("threads", 1);
   const std::int64_t shards = flags.get_int("shards", 1);
   const std::int64_t ranks = flags.get_int("ranks", 1);
@@ -113,14 +114,15 @@ int run_quickstart(const FlagMap& flags, std::ostream& out) {
              100.0
       << " %\n";
 
-  // The model in practice: a miniature §IV-B erosion run (fixed seed 1, the
-  // shared Table-II comm calibration of scaled_app_config, geometry scaled
-  // down further), stepped on `--threads` host threads. --threads 1 is the
-  // classic shared-stream serial stepper; any N > 1 uses per-disc substreams
-  // and yields one identical virtual-time result for every such N (see
+  // The model in practice: a miniature §IV-B erosion run (--seed, default
+  // 11 like the other erosion subcommands; the shared Table-II comm
+  // calibration of scaled_app_config, geometry scaled down further),
+  // stepped on `--threads` host threads. --threads 1 is the classic
+  // shared-stream serial stepper; any N > 1 uses per-disc substreams and
+  // yields one identical virtual-time result for every such N (see
   // AppConfig::threads).
   erosion::AppConfig mini =
-      scaled_app_config(16, 1, erosion::Method::kStandard, 1);
+      scaled_app_config(16, 1, erosion::Method::kStandard, seed);
   mini.columns_per_pe = 64;
   mini.rows = 96;
   mini.rock_radius = 24;
@@ -135,8 +137,8 @@ int run_quickstart(const FlagMap& flags, std::ostream& out) {
   const erosion::RunResult mini_std = erosion::ErosionApp(mini).run();
   mini.method = erosion::Method::kUlba;
   const erosion::RunResult mini_ulba = erosion::ErosionApp(mini).run();
-  out << "\nin practice (mini erosion run: 16 PEs, seed 1, " << threads
-      << " thread(s)";
+  out << "\nin practice (mini erosion run: 16 PEs, seed " << mini.seed
+      << ", " << threads << " thread(s)";
   if (shards > 1) out << ", " << shards << " shards via " << partitioner;
   if (ranks > 1) out << ", " << ranks << " SPMD ranks via " << partitioner;
   out << "):\n"
@@ -154,7 +156,8 @@ int run_quickstart(const FlagMap& flags, std::ostream& out) {
 int run_erosion(const FlagMap& flags, std::ostream& out) {
   flags.require_known({"mt", "pes", "strong", "seed", "iterations", "alpha",
                        "columns-per-pe", "rows", "rock-radius", "threads",
-                       "shards", "ranks", "partitioner"});
+                       "shards", "ranks", "partitioner", "exchange",
+                       "ns-scale", "migration-scale"});
   const bool mt = flags.has("mt");
   const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
   const std::int64_t strong = flags.get_int("strong", 1);
@@ -164,6 +167,9 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   const std::int64_t shards = flags.get_int("shards", 1);
   const std::int64_t ranks = flags.get_int("ranks", 1);
   const std::string partitioner = flags.get_string("partitioner", "greedy");
+  const std::string exchange = flags.get_string("exchange", "neighbor");
+  const double ns_scale = flags.get_double("ns-scale", 4.0);
+  const double migration_scale = flags.get_double("migration-scale", 8.0);
   ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
   ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
                "--strong must be in [1, pes]");
@@ -172,18 +178,31 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
                "--threads must be in [1, 256]");
   ULBA_REQUIRE(shards >= 1 && shards <= 64, "--shards must be in [1, 64]");
   ULBA_REQUIRE(ranks >= 1 && ranks <= 64, "--ranks must be in [1, 64]");
+  ULBA_REQUIRE(ns_scale > 0.0 && migration_scale >= 0.0,
+               "--ns-scale must be positive, --migration-scale nonnegative");
   ULBA_REQUIRE(shards == 1 || ranks == 1,
                "--shards steps in-process, --ranks steps over the SPMD "
                "runtime; pick one");
-  ULBA_REQUIRE(!mt || !flags.has("threads"),
-               "--threads steps the virtual-time dynamics; --mt already runs "
-               "on real OS threads");
-  ULBA_REQUIRE(!mt || (!flags.has("shards") && !flags.has("partitioner") &&
-                       !flags.has("ranks")),
-               "--shards/--ranks/--partitioner drive the virtual-time "
-               "steppers; --mt already runs on real OS threads");
+  // --mt alone is the legacy thread-backed app; --mt with --ranks is the
+  // measured-time DISTRIBUTED mode, which keeps the full virtual-time knob
+  // set (partitioner, exchange, per-rank pools).
+  ULBA_REQUIRE(!mt || ranks > 1 || !flags.has("threads"),
+               "--threads steps the virtual-time dynamics; --mt without "
+               "--ranks already runs on real OS threads");
+  ULBA_REQUIRE(!mt || ranks > 1 ||
+                   (!flags.has("shards") && !flags.has("partitioner") &&
+                    !flags.has("exchange")),
+               "--shards/--partitioner/--exchange drive the virtual-time "
+               "steppers; combine --mt with --ranks for the measured-time "
+               "distributed mode");
+  ULBA_REQUIRE(mt || (!flags.has("ns-scale") && !flags.has("migration-scale")),
+               "--ns-scale/--migration-scale calibrate measured-time runs; "
+               "pass --mt");
+  ULBA_REQUIRE(!flags.has("exchange") || ranks > 1,
+               "--exchange routes the distributed step exchange; pass "
+               "--ranks");
 
-  if (mt) {
+  if (mt && ranks == 1) {
     erosion::ThreadedConfig cfg;
     cfg.pe_count = pe_count;
     cfg.strong_rock_count = strong;
@@ -193,6 +212,8 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
     cfg.rows = flags.get_int("rows", 96);
     cfg.rock_radius = flags.get_int("rock-radius", 24);
     cfg.iterations = flags.get_int("iterations", 80);
+    cfg.ns_scale = ns_scale;
+    cfg.migration_scale = migration_scale;
     cfg.validate();
 
     out << "Threaded erosion: " << cfg.pe_count << " ranks (OS threads), "
@@ -239,6 +260,10 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   cfg.shards = shards;
   cfg.ranks = ranks;
   cfg.partitioner = partitioner;
+  cfg.exchange = exchange;
+  cfg.measure_time = mt;
+  cfg.ns_scale = ns_scale;
+  cfg.migration_scale = migration_scale;
   cfg.validate();
 
   out << "Erosion demo: " << cfg.pe_count << " PEs, "
@@ -253,9 +278,14 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
         << "; trajectory bit-identical to the unsharded serial run)\n";
   if (cfg.ranks > 1)
     out << "(distributed stepping: " << cfg.ranks
-        << " SPMD ranks, stripes cut by " << cfg.partitioner
-        << ", real halo/migration messages; trajectory bit-identical to "
-           "the serial run)\n";
+        << " SPMD ranks, stripes cut by " << cfg.partitioner << ", "
+        << cfg.exchange
+        << " step exchange, real halo/migration messages; trajectory "
+           "bit-identical to the serial run)\n";
+  if (cfg.measure_time)
+    out << "(measured time: each rank burns real CPU, ns_scale "
+        << cfg.ns_scale << ", migration_scale " << cfg.migration_scale
+        << "; the LB schedule still comes from the virtual-time trigger)\n";
   out << "\n";
 
   cfg.method = erosion::Method::kStandard;
@@ -296,6 +326,55 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
         << "  ULBA     : " << ulba_run.rank_discs_moved << " disc move(s), "
         << ulba_run.rank_migration_bytes / 1e6 << " MB modeled, "
         << ulba_run.rank_observed_bytes / 1e6 << " MB on the wire\n\n";
+    out << "per-step exchange (" << cfg.exchange << " mode, whole run):\n"
+        << "  standard : " << std_run.rank_step_messages << " messages, "
+        << std_run.rank_step_bytes / 1e6 << " MB\n"
+        << "  ULBA     : " << ulba_run.rank_step_messages << " messages, "
+        << ulba_run.rank_step_bytes / 1e6 << " MB\n\n";
+  }
+
+  if (cfg.measure_time) {
+    const auto mean_of = [](const std::vector<double>& v) {
+      return v.empty() ? 0.0 : support::mean(v);
+    };
+    const auto mreport = [&out, &mean_of](const char* name,
+                                          const erosion::RunResult& r) {
+      out << name << "\n"
+          << "  wall clock       : " << r.measured.wall_seconds
+          << " s measured (compute " << r.measured.compute_seconds
+          << " + LB " << r.measured.lb_seconds << ")\n"
+          << "  LB steps         : " << r.measured.lb_step_seconds.size()
+          << " measured, mean cost " << mean_of(r.measured.lb_step_seconds)
+          << " s (migration " << r.measured.migration_seconds << " s)\n"
+          << "  mean utilization : " << r.measured.utilization * 100.0
+          << " %\n"
+          << "  iteration times  : "
+          << support::sparkline(r.measured.iteration_seconds) << "\n\n";
+    };
+    out << "measured wall clock (steady_clock on the SPMD ranks):\n\n";
+    mreport("standard:", std_run);
+    mreport("ULBA:", ulba_run);
+
+    const auto ratio = [](double measured, double model) {
+      return model > 0.0 ? measured / model : 0.0;
+    };
+    out << "measured vs model (same runs — the virtual-time numbers above "
+           "are their model track):\n"
+        << "  compute seconds, measured/model : standard "
+        << ratio(std_run.measured.compute_seconds, std_run.compute_seconds)
+        << ", ULBA "
+        << ratio(ulba_run.measured.compute_seconds, ulba_run.compute_seconds)
+        << "\n"
+        << "  LB seconds, measured/model      : standard "
+        << ratio(std_run.measured.lb_seconds, std_run.lb_seconds)
+        << ", ULBA "
+        << ratio(ulba_run.measured.lb_seconds, ulba_run.lb_seconds) << "\n"
+        << "  (a constant compute ratio means the alpha-beta model prices "
+           "iterations faithfully;\n   the LB ratio folds in what the model "
+           "cannot see — packing, queueing, host noise)\n"
+        << "  dynamics: eroded cells and the LB schedule are bit-identical "
+           "to the model-time run\n   (the trigger consumes virtual times "
+           "only; measurements ride alongside)\n\n";
   }
 
   out << "==> ULBA gain: "

@@ -384,10 +384,13 @@ bool run_results_bit_equal(const erosion::RunResult& a,
 
 std::vector<DistributedScalingRow> distributed_erosion_scaling(
     std::span<const std::int64_t> rank_counts,
-    std::span<const std::string> partitioners, std::int64_t pe_count,
+    std::span<const std::string> partitioners,
+    std::span<const std::string> exchanges, std::int64_t pe_count,
     std::int64_t strong_rocks, std::uint64_t seed, std::int64_t iterations) {
-  ULBA_REQUIRE(!rank_counts.empty() && !partitioners.empty(),
-               "scaling sweep needs rank counts and partitioners");
+  ULBA_REQUIRE(!rank_counts.empty() && !partitioners.empty() &&
+                   !exchanges.empty(),
+               "scaling sweep needs rank counts, partitioners, and "
+               "exchange modes");
   using Clock = std::chrono::steady_clock;
   std::vector<DistributedScalingRow> rows;
   for (const std::string& name : partitioners) {
@@ -396,23 +399,31 @@ std::vector<DistributedScalingRow> distributed_erosion_scaling(
     if (iterations > 0) cfg.iterations = iterations;
     cfg.partitioner = name;
     const erosion::RunResult reference = erosion::ErosionApp(cfg).run();
-    for (const std::int64_t ranks : rank_counts) {
-      erosion::AppConfig rcfg = cfg;
-      rcfg.ranks = ranks;
-      const auto t0 = Clock::now();
-      const erosion::RunResult run = erosion::ErosionApp(rcfg).run();
-      const double wall =
-          std::chrono::duration<double>(Clock::now() - t0).count();
-      DistributedScalingRow row;
-      row.ranks = ranks;
-      row.partitioner = name;
-      row.wall_seconds = wall;
-      row.virtual_seconds = run.total_seconds;
-      row.lb_count = run.lb_count;
-      row.discs_moved = run.rank_discs_moved;
-      row.observed_mb = run.rank_observed_bytes / 1e6;
-      row.matches_serial = run_results_bit_equal(run, reference) ? 1 : 0;
-      rows.push_back(std::move(row));
+    for (const std::string& exchange : exchanges) {
+      for (const std::int64_t ranks : rank_counts) {
+        // The exchange mode is meaningless at one rank (the serial path);
+        // run that reference cell once instead of once per mode.
+        if (ranks == 1 && exchange != exchanges.front()) continue;
+        erosion::AppConfig rcfg = cfg;
+        rcfg.ranks = ranks;
+        rcfg.exchange = exchange;
+        const auto t0 = Clock::now();
+        const erosion::RunResult run = erosion::ErosionApp(rcfg).run();
+        const double wall =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        DistributedScalingRow row;
+        row.ranks = ranks;
+        row.partitioner = name;
+        row.exchange = exchange;
+        row.wall_seconds = wall;
+        row.virtual_seconds = run.total_seconds;
+        row.lb_count = run.lb_count;
+        row.discs_moved = run.rank_discs_moved;
+        row.observed_mb = run.rank_observed_bytes / 1e6;
+        row.step_messages = run.rank_step_messages;
+        row.matches_serial = run_results_bit_equal(run, reference) ? 1 : 0;
+        rows.push_back(std::move(row));
+      }
     }
   }
   return rows;

@@ -216,15 +216,20 @@ struct IntervalQualitySample {
 // `erosion --ranks` drives the same ErosionApp implementation)
 // ---------------------------------------------------------------------------
 
-/// One (rank count, partitioner) cell of the distributed scaling sweep.
+/// One (rank count, partitioner, exchange mode) cell of the distributed
+/// scaling sweep.
 struct DistributedScalingRow {
   std::int64_t ranks = 0;
   std::string partitioner;
+  std::string exchange;          ///< "alltoall" | "neighbor"
   double wall_seconds = 0.0;     ///< measured host wall clock of the run
   double virtual_seconds = 0.0;  ///< RunResult::total_seconds (rank-invariant)
   std::int64_t lb_count = 0;
   std::int64_t discs_moved = 0;  ///< rank-ownership migrations, all LB steps
   double observed_mb = 0.0;      ///< real migration payload on the wire [MB]
+  /// Per-step exchange messages over the whole run, summed across ranks —
+  /// the number the neighbor-vs-all-to-all comparison is about.
+  std::int64_t step_messages = 0;
   /// 1 when every trajectory-facing RunResult field (times, LB schedule,
   /// per-step α's, per-iteration records) is bit-identical to the ranks = 1
   /// reference — the determinism contract.
@@ -232,12 +237,13 @@ struct DistributedScalingRow {
 };
 
 /// Run the scaled erosion app distributed over every rank count ×
-/// partitioner combination and compare each RunResult bit-for-bit against
-/// the in-process reference. Runs sequentially (each cell already spawns
-/// `ranks` SPMD threads).
+/// partitioner × exchange-mode combination and compare each RunResult
+/// bit-for-bit against the in-process reference. Runs sequentially (each
+/// cell already spawns `ranks` SPMD threads).
 [[nodiscard]] std::vector<DistributedScalingRow> distributed_erosion_scaling(
     std::span<const std::int64_t> rank_counts,
-    std::span<const std::string> partitioners, std::int64_t pe_count,
+    std::span<const std::string> partitioners,
+    std::span<const std::string> exchanges, std::int64_t pe_count,
     std::int64_t strong_rocks, std::uint64_t seed, std::int64_t iterations);
 
 }  // namespace ulba::cli

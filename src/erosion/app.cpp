@@ -1,6 +1,7 @@
 #include "erosion/app.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <optional>
 #include <span>
@@ -16,6 +17,7 @@
 #include "lb/driver.hpp"
 #include "lb/stripe_partitioner.hpp"
 #include "runtime/spmd.hpp"
+#include "support/burn.hpp"
 #include "support/require.hpp"
 
 namespace ulba::erosion {
@@ -379,14 +381,27 @@ class LbController {
 /// LbController against weights reassembled through real messages, so the
 /// RunResult is bit-identical to the in-process run — plus the distributed
 /// migration accounting.
+///
+/// With AppConfig::measure_time, every rank also burns real CPU ∝ its
+/// stripe's workload per iteration (and ∝ its migration payload per LB
+/// step), and a steady_clock track — iteration maxima, measured degradation,
+/// per-LB-step cost — is recorded into RunResult::measured. The LB verdicts
+/// still come from the virtual-time controller, so the trajectory is
+/// bit-identical to the model-time run: the measurements ride alongside the
+/// model, they never steer it.
 RunResult run_distributed(const AppConfig& config,
                           const DomainConfig& domain_config) {
+  using Clock = std::chrono::steady_clock;
+  using support::seconds_since;
+  const auto max_op = [](double a, double b) { return std::max(a, b); };
   RunResult result;
+  const int R = static_cast<int>(config.ranks);
   runtime::spmd_run(
-      static_cast<int>(config.ranks), [&](runtime::Comm& comm) {
+      R, [&](runtime::Comm& comm) {
         const std::shared_ptr<const lb::Partitioner> partitioner(
             lb::make_partitioner(config.partitioner));
-        DistributedDomain domain(domain_config, comm, partitioner);
+        DistributedDomain domain(domain_config, comm, partitioner,
+                                 exchange_mode_from_name(config.exchange));
         support::Rng dynamics_rng = support::Rng(config.seed).fork(1);
         std::optional<support::ThreadPool> pool;
         if (config.threads > 1)
@@ -396,12 +411,39 @@ RunResult run_distributed(const AppConfig& config,
         if (main) ctl.emplace(config, partitioner, domain.columns());
         const double byte_scale =
             config.bytes_per_cell / config.flop_per_cell;
+        const bool mt = config.measure_time;
+        MeasuredTimes measured;
+        core::AdaptiveTrigger measured_trigger;  // main rank, report-only
+        double measured_util_sum = 0.0;
+        const auto run0 = Clock::now();
 
         for (std::int64_t iter = 0; iter < config.iterations; ++iter) {
           // Monitoring gather (collective): the main rank reassembles the
           // full pre-step weights and runs superstep/WIR/gossip on them.
           const std::vector<double> weights = domain.gather_column_weights(0);
           if (main) ctl->observe(iter, weights);
+
+          // Measured mode: compute my stripe for real (burn ∝ owned
+          // workload) and agree on the iteration time — the max over ranks,
+          // exactly what a barriered superstep would observe.
+          if (mt) {
+            double owned = 0.0;
+            for (const double w : domain.local_column_weights()) owned += w;
+            const auto it0 = Clock::now();
+            support::burn(owned, config.ns_scale);
+            const double my_seconds = seconds_since(it0);
+            const double step_max = comm.allreduce(my_seconds, max_op);
+            const double step_sum = comm.allreduce(my_seconds);
+            if (main) {
+              measured.iteration_seconds.push_back(step_max);
+              measured.compute_seconds += step_max;
+              if (step_max > 0.0)
+                measured_util_sum +=
+                    step_sum / (static_cast<double>(R) * step_max);
+              measured_trigger.record_iteration(step_max);
+              measured.degradation.push_back(measured_trigger.degradation());
+            }
+          }
 
           // Application dynamics (collective; independent of LB decisions).
           if (pool)
@@ -417,6 +459,7 @@ RunResult run_distributed(const AppConfig& config,
                 ctl->should_balance(iter, domain.total_workload()) ? 1 : 0;
           comm.broadcast(balance_now, 0);
           if (balance_now != 0) {
+            const auto lb0 = Clock::now();
             // One reassembly serves both the centralized LB step (main
             // rank) and the stripe recut (every rank).
             const std::vector<double> post =
@@ -429,7 +472,23 @@ RunResult run_distributed(const AppConfig& config,
             }
             // Recut the rank stripes against the freshly balanced weights —
             // column weights and disc ownership move as real messages.
+            const auto mig0 = Clock::now();
             const DistributedReshardResult reshard = domain.rebalance(post);
+            if (mt) {
+              // Pack/unpack cost ∝ the payload THIS rank really moved.
+              support::burn(reshard.my_payload_bytes,
+                            config.ns_scale * config.migration_scale);
+              const double mig_max =
+                  comm.allreduce(seconds_since(mig0), max_op);
+              const double lb_max =
+                  comm.allreduce(seconds_since(lb0), max_op);
+              if (main) {
+                measured.migration_seconds += mig_max;
+                measured.lb_step_seconds.push_back(lb_max);
+                measured.lb_seconds += lb_max;
+                measured_trigger.reset();
+              }
+            }
             if (main) {
               ctl->result().rank_discs_moved += reshard.discs_moved;
               ctl->result().rank_migration_bytes +=
@@ -442,8 +501,21 @@ RunResult run_distributed(const AppConfig& config,
         }
         const std::vector<double> final_weights =
             domain.gather_column_weights(0);
-        if (main)
+        const auto step_messages = comm.allreduce(
+            static_cast<std::int64_t>(domain.step_messages_sent()));
+        const auto step_bytes = comm.allreduce(
+            static_cast<double>(domain.step_payload_bytes_sent()));
+        if (main) {
           result = ctl->take_result(final_weights, domain.eroded_cells());
+          result.rank_step_messages = step_messages;
+          result.rank_step_bytes = step_bytes;
+          if (mt) {
+            measured.wall_seconds = seconds_since(run0);
+            measured.utilization =
+                measured_util_sum / static_cast<double>(config.iterations);
+            result.measured = std::move(measured);
+          }
+        }
       });
   return result;
 }
@@ -480,7 +552,12 @@ void AppConfig::validate() const {
   ULBA_REQUIRE(ranks == 1 || shards == 1,
                "distributed stepping (ranks > 1) and in-process sharding "
                "(shards > 1) are mutually exclusive");
+  ULBA_REQUIRE(!measure_time || ranks > 1,
+               "measured-time mode runs on the SPMD runtime (ranks > 1)");
+  ULBA_REQUIRE(ns_scale > 0.0 && migration_scale >= 0.0,
+               "ns_scale must be positive and migration_scale nonnegative");
   (void)lb::make_partitioner(partitioner);  // throws on unknown names
+  (void)exchange_mode_from_name(exchange);  // throws on unknown names
   comm.validate();
 }
 

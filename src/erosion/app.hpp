@@ -129,6 +129,28 @@ struct AppConfig {
   /// pool. Mutually exclusive with `shards` > 1.
   std::int64_t ranks = 1;
 
+  /// Per-step exchange protocol of the distributed stepper, by
+  /// erosion::exchange_mode_from_name name: "neighbor" (default — halo
+  /// deltas travel only to the ranks the partition cut makes halo
+  /// neighbors, global counters via one reduction + broadcast) or
+  /// "alltoall" (the O(ranks²) reference). The trajectory is bit-identical
+  /// either way; only the message count differs.
+  std::string exchange = "neighbor";
+
+  /// Measured-time distributed mode (requires ranks > 1): every rank
+  /// additionally burns real CPU proportional to its stripe's workload each
+  /// iteration (support::burn at `ns_scale`) and to its migration payload
+  /// at each LB step (× `migration_scale`), and the run reports
+  /// steady_clock measurements in RunResult::measured — while the LB
+  /// verdicts keep coming from the virtual-time controller, so the
+  /// dynamics (eroded cells, LB schedule, the whole virtual RunResult)
+  /// stay bit-identical to the model-time run of the same seed.
+  bool measure_time = false;
+  /// Busy-loop multiply-adds per unit of cell workload (measured mode).
+  double ns_scale = 4.0;
+  /// Real CPU cost factor per migrated payload byte (measured mode).
+  double migration_scale = 8.0;
+
   /// E-X4 extension (the paper's future-work item): how ULBA adapts α at
   /// each LB step from the gossip-estimated overloading state. The policy
   /// also feeds the adaptive trigger's Eq. (11) overhead term, so trigger
@@ -154,6 +176,24 @@ struct IterationRecord {
   /// `anticipate_overhead_in_trigger` — the Eq. (11) overhead at the α the
   /// configured AlphaPolicy would apply right now.
   double threshold = 0.0;
+};
+
+/// Wall-clock measurements of the measured-time distributed mode
+/// (AppConfig::measure_time): everything here comes from steady_clock on
+/// the SPMD runtime — iteration maxima, the measured degradation the
+/// adaptive trigger would see, and the cost of each real LB step (gather +
+/// Algorithm-2 + column/disc migration messages + migration burn). All-zero
+/// when measured mode is off. The virtual-time fields of the enclosing
+/// RunResult are bit-identical with and without measured mode.
+struct MeasuredTimes {
+  double wall_seconds = 0.0;       ///< main rank, whole-run steady_clock
+  double compute_seconds = 0.0;    ///< Σ iteration_seconds
+  double lb_seconds = 0.0;         ///< Σ lb_step_seconds
+  double migration_seconds = 0.0;  ///< Σ allreduced-max migration portions
+  double utilization = 0.0;        ///< mean over iterations of Σ/(R·max)
+  std::vector<double> iteration_seconds;  ///< allreduced max, per iteration
+  std::vector<double> degradation;  ///< measured-trigger trace, per iteration
+  std::vector<double> lb_step_seconds;  ///< parallel to lb_iterations
 };
 
 struct RunResult {
@@ -182,6 +222,13 @@ struct RunResult {
   std::int64_t rank_discs_moved = 0;
   double rank_migration_bytes = 0.0;
   double rank_observed_bytes = 0.0;
+  /// Distributed stepping only: per-step exchange traffic summed over all
+  /// ranks and iterations (halo + reduction/broadcast legs) — the numbers
+  /// the "neighbor" and "alltoall" exchange modes are compared on.
+  std::int64_t rank_step_messages = 0;
+  double rank_step_bytes = 0.0;
+  /// Measured-time distributed mode only (AppConfig::measure_time).
+  MeasuredTimes measured;
 };
 
 class ErosionApp {

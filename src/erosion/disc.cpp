@@ -8,6 +8,10 @@
 
 namespace ulba::erosion {
 
+std::pair<std::int64_t, std::int64_t> disc_column_span(const RockDisc& disc) {
+  return {disc.cx - disc.radius, disc.cx + disc.radius + 1};
+}
+
 DiscState build_disc_state(const RockDisc& disc) {
   DiscState d;
   d.side = 2 * disc.radius + 1;
@@ -124,6 +128,7 @@ constexpr std::size_t kHeaderInts = 6;
 
 void append_bytes(std::vector<std::byte>& out, const void* data,
                   std::size_t size) {
+  if (size == 0) return;  // memcpy's source is declared nonnull
   const std::size_t at = out.size();
   out.resize(at + size);
   std::memcpy(out.data() + at, data, size);
@@ -185,8 +190,11 @@ DiscState deserialize_disc(std::span<const std::byte> payload,
   std::memcpy(d.cells.data(), payload.data(), cell_count);
   payload = payload.subspan(cell_count);
   d.frontier.resize(static_cast<std::size_t>(frontier_count));
-  std::memcpy(d.frontier.data(), payload.data(),
-              d.frontier.size() * sizeof(std::int32_t));
+  // A fully eroded disc migrates with an empty frontier: both memcpy
+  // pointers would be null there, and both are declared nonnull.
+  if (!d.frontier.empty())
+    std::memcpy(d.frontier.data(), payload.data(),
+                d.frontier.size() * sizeof(std::int32_t));
   return d;
 }
 

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -57,6 +58,14 @@ struct DiscState {
 /// Rasterize `disc` (cells within the Euclidean radius are rock; boundary
 /// rock with any non-rock 4-neighbour starts on the frontier).
 [[nodiscard]] DiscState build_disc_state(const RockDisc& disc);
+
+/// Half-open column interval [first, last) of the disc's bounding box — the
+/// only columns its erosion can ever credit. Derivable from the RockDisc
+/// alone (no materialized state), matching build_disc_state's box exactly;
+/// this is what lets every rank compute halo-neighbor sets from replicated
+/// metadata without holding remote DiscStates.
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> disc_column_span(
+    const RockDisc& disc);
 
 /// Phase 1 — decide which frontier cells erode, against the pre-step state.
 /// Consumes EXACTLY frontier.size() Bernoulli draws from `rng` (every

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "erosion/disc.hpp"
@@ -45,6 +46,29 @@
 #include "support/thread_pool.hpp"
 
 namespace ulba::erosion {
+
+/// How the per-step exchange routes its traffic.
+enum class ExchangeMode {
+  /// One message per peer per step (R·(R−1) messages): every rank sends
+  /// every other rank its eroded total, halo deltas, and frontier metadata.
+  /// The historical PR-4 scheme, kept as the ablation reference.
+  kAllToAll,
+  /// Neighbor-aware (the default): halo deltas travel only to the ranks
+  /// whose stripes a local disc's bounding box overlaps — the neighbor set
+  /// recomputed from the partition cut at construction and after every
+  /// rebalance — while the global eroded count and the frontier metadata
+  /// propagate through one reduction at rank 0 plus one broadcast. Per-step
+  /// message count drops from R·(R−1) to 2·(R−1) + Σ|neighbors|; the
+  /// trajectory stays bit-identical (halo credits are per-cell and
+  /// order-independent, the eroded reduction folds exact integers in rank
+  /// order, frontier updates are plain assignments).
+  kNeighbor,
+};
+
+/// Parse "alltoall" | "neighbor" (the `--exchange` vocabulary); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] ExchangeMode exchange_mode_from_name(const std::string& name);
+[[nodiscard]] std::string exchange_mode_name(ExchangeMode mode);
 
 /// Outcome of one distributed rebalance (identical on every rank).
 struct DistributedReshardResult {
@@ -65,6 +89,9 @@ struct DistributedReshardResult {
   /// Real payload bytes this rank put on / took off the wire during the
   /// rebalance (column weights + serialized discs), summed over all ranks.
   double observed_payload_bytes = 0.0;
+  /// This rank's own share of that payload (sent + received, NOT reduced) —
+  /// what a measured-time driver charges its local migration burn against.
+  double my_payload_bytes = 0.0;
 };
 
 /// The rank-local final report every rank replicates (bit-identical to the
@@ -78,11 +105,13 @@ struct DistributedReport {
 
 class DistributedDomain {
  public:
-  /// Collective: every rank of `comm` constructs with the same `config` and
-  /// an equivalent `partitioner`. The initial stripes are cut against the
-  /// initial column weights (even targets), exactly like ShardedDomain.
+  /// Collective: every rank of `comm` constructs with the same `config`, an
+  /// equivalent `partitioner`, and the same `exchange` mode. The initial
+  /// stripes are cut against the initial column weights (even targets),
+  /// exactly like ShardedDomain.
   DistributedDomain(DomainConfig config, runtime::Comm& comm,
-                    std::shared_ptr<const lb::Partitioner> partitioner);
+                    std::shared_ptr<const lb::Partitioner> partitioner,
+                    ExchangeMode exchange = ExchangeMode::kNeighbor);
 
   /// Collective: one erosion iteration (local discs stepped serially).
   /// Returns the GLOBAL eroded-cell count — the value the serial
@@ -118,6 +147,29 @@ class DistributedDomain {
   /// Current rank → column-range boundaries (size ranks + 1, replicated).
   [[nodiscard]] const lb::StripeBoundaries& rank_boundaries() const noexcept {
     return boundaries_;
+  }
+  [[nodiscard]] ExchangeMode exchange_mode() const noexcept {
+    return exchange_;
+  }
+  /// Neighbor mode only: ranks my halo deltas may target (ascending) — the
+  /// owners of any column a local disc's bounding box covers — and the
+  /// ranks whose discs overlap MY stripe (who therefore message me each
+  /// step). Both recomputed from the partition cut after every rebalance;
+  /// empty in all-to-all mode.
+  [[nodiscard]] std::span<const int> halo_send_neighbors() const noexcept {
+    return send_neighbors_;
+  }
+  [[nodiscard]] std::span<const int> halo_recv_neighbors() const noexcept {
+    return recv_neighbors_;
+  }
+  /// Messages/payload THIS rank put on the wire inside step() so far (halo
+  /// deltas + reduction/broadcast legs; rebalance traffic excluded). Sum
+  /// over ranks for the per-step totals the exchange modes are compared on.
+  [[nodiscard]] std::uint64_t step_messages_sent() const noexcept {
+    return step_messages_;
+  }
+  [[nodiscard]] std::uint64_t step_payload_bytes_sent() const noexcept {
+    return step_payload_bytes_;
   }
   /// Global indices of the discs this rank owns, ascending.
   [[nodiscard]] std::span<const std::size_t> local_discs() const noexcept {
@@ -168,14 +220,28 @@ class DistributedDomain {
   /// its center column). `keep` holds the still-local DiscStates by global
   /// id, already including received hand-offs.
   void assign_local_discs();
+  /// Recompute send/recv halo-neighbor sets from boundaries_ + disc_owner_
+  /// + the disc bounding boxes (all replicated) — must follow every
+  /// boundary or ownership change.
+  void recompute_neighbors();
   /// Apply `count` eroded cells to column `x` of my stripe, one cell at a
   /// time (the serial commit's per-cell accounting, so FP results agree).
   void credit_column(std::int64_t x, std::int64_t count);
+  /// Record one step()-phase send of `bytes` payload bytes.
+  void count_step_send(std::size_t bytes) noexcept {
+    ++step_messages_;
+    step_payload_bytes_ += bytes;
+  }
 
   DomainConfig config_;
   runtime::Comm* comm_;
   std::shared_ptr<const lb::Partitioner> partitioner_;
+  ExchangeMode exchange_;
   lb::StripeBoundaries boundaries_;
+  std::vector<int> send_neighbors_;  ///< ascending, neighbor mode only
+  std::vector<int> recv_neighbors_;  ///< ascending, neighbor mode only
+  std::uint64_t step_messages_ = 0;
+  std::uint64_t step_payload_bytes_ = 0;
 
   std::vector<std::size_t> local_disc_ids_;  ///< ascending global ids
   std::vector<DiscState> local_discs_;       ///< parallel to local_disc_ids_

@@ -11,25 +11,17 @@
 #include "core/wir_database.hpp"
 #include "lb/stripe_partitioner.hpp"
 #include "runtime/spmd.hpp"
+#include "support/burn.hpp"
 #include "support/require.hpp"
 
 namespace ulba::erosion {
 
 namespace {
 
+using support::burn;
+using support::seconds_since;
+
 using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/// Busy-burn `flop · ns_scale` multiply-add loop steps (~1 ns each): the
-/// knob that turns modeled FLOP into real wall-clock time.
-void burn(double flop, double ns_scale) {
-  volatile double x = 1.0;
-  const auto steps = static_cast<long>(std::max(0.0, flop * ns_scale));
-  for (long i = 0; i < steps; ++i) x = x * 1.0000001 + 1e-9;
-}
 
 /// Sparse column-weight delta produced by one iteration of disc erosion.
 struct Delta {

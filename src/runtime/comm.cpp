@@ -9,6 +9,7 @@ Comm::Comm(World& world, int rank) : world_(&world), rank_(rank) {
 void Comm::send_bytes(int dest, int tag, std::span<const std::byte> payload) {
   ULBA_REQUIRE(dest >= 0 && dest < size(), "destination rank out of range");
   ULBA_REQUIRE(tag >= 0, "user tags must be non-negative");
+  world_->record_send(payload.size());
   world_->mailbox(dest).push(
       Message{rank_, tag, {payload.begin(), payload.end()}});
 }
@@ -35,6 +36,7 @@ void Comm::check_root(int root) const {
 
 void Comm::send_internal(int dest, int tag,
                          std::span<const std::byte> payload) {
+  world_->record_send(payload.size());
   world_->mailbox(dest).push(
       Message{rank_, tag, {payload.begin(), payload.end()}});
 }

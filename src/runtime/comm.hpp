@@ -32,6 +32,12 @@ class Comm {
   [[nodiscard]] int rank() const noexcept { return rank_; }
   [[nodiscard]] int size() const noexcept { return world_->size(); }
 
+  /// World-wide traffic totals (all ranks' sends, collectives included).
+  /// Compare only quiescent snapshots — e.g. taken right after barrier().
+  [[nodiscard]] TrafficCounters traffic() const noexcept {
+    return world_->traffic();
+  }
+
   // ---- point to point ----------------------------------------------------
 
   void send_bytes(int dest, int tag, std::span<const std::byte> payload);
@@ -72,7 +78,10 @@ class Comm {
     ULBA_REQUIRE(m.payload.size() % sizeof(T) == 0,
                  "received payload size is not a whole number of elements");
     std::vector<T> values(m.payload.size() / sizeof(T));
-    std::memcpy(values.data(), m.payload.data(), m.payload.size());
+    // Zero-length exchanges are legal (e.g. an empty halo message); memcpy's
+    // pointer arguments are declared nonnull, so skip it outright.
+    if (!m.payload.empty())
+      std::memcpy(values.data(), m.payload.data(), m.payload.size());
     return values;
   }
 
@@ -110,7 +119,8 @@ class Comm {
       ULBA_REQUIRE(m.payload.size() % sizeof(T) == 0,
                    "broadcast payload size mismatch");
       values.resize(m.payload.size() / sizeof(T));
-      std::memcpy(values.data(), m.payload.data(), m.payload.size());
+      if (!m.payload.empty())
+        std::memcpy(values.data(), m.payload.data(), m.payload.size());
     }
   }
 

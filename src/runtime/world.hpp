@@ -1,7 +1,9 @@
-// The shared state of one SPMD run: the mailboxes of all ranks plus a
-// reusable counting barrier.
+// The shared state of one SPMD run: the mailboxes of all ranks, a reusable
+// counting barrier, and the world-wide traffic counters every send (user
+// point-to-point AND collective-internal) reports into.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -11,6 +13,12 @@
 #include "runtime/mailbox.hpp"
 
 namespace ulba::runtime {
+
+/// World-wide traffic totals since construction (every rank's sends).
+struct TrafficCounters {
+  std::uint64_t messages = 0;       ///< mailbox pushes, any tag
+  std::uint64_t payload_bytes = 0;  ///< Σ payload sizes of those pushes
+};
 
 class World {
  public:
@@ -25,6 +33,20 @@ class World {
   /// Reusable (generation-counted) barrier across all `size` ranks.
   void barrier_wait();
 
+  /// Account one sent message (called by Comm on every send path, internal
+  /// collectives included). Relaxed atomics: the counters order nothing.
+  void record_send(std::uint64_t payload_bytes) noexcept {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    payload_bytes_.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the world-wide traffic so far. Only quiescent snapshots
+  /// (e.g. bracketing a barrier) are meaningful comparisons.
+  [[nodiscard]] TrafficCounters traffic() const noexcept {
+    return {messages_.load(std::memory_order_relaxed),
+            payload_bytes_.load(std::memory_order_relaxed)};
+  }
+
  private:
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -33,6 +55,9 @@ class World {
   std::condition_variable barrier_cv_;
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> payload_bytes_{0};
 };
 
 }  // namespace ulba::runtime

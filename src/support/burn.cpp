@@ -1,0 +1,21 @@
+#include "support/burn.hpp"
+
+namespace ulba::support {
+
+std::int64_t burn_steps(double flop, double ns_scale) noexcept {
+  const double requested = flop * ns_scale;
+  // !(x > 0) also catches NaN. The >= comparison is exact: kMaxBurnSteps is
+  // a power of two, hence representable as a double, and every finite double
+  // below it casts to int64 without overflow.
+  if (!(requested > 0.0)) return 0;
+  if (requested >= static_cast<double>(kMaxBurnSteps)) return kMaxBurnSteps;
+  return static_cast<std::int64_t>(requested);
+}
+
+void burn(double flop, double ns_scale) noexcept {
+  volatile double x = 1.0;
+  const std::int64_t steps = burn_steps(flop, ns_scale);
+  for (std::int64_t i = 0; i < steps; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+}  // namespace ulba::support

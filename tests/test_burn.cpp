@@ -1,0 +1,73 @@
+// Boundary tests for the shared busy-work primitive. The regression being
+// locked down: burn() used to cast `flop * ns_scale` to `long`, which is
+// 32 bits on LLP64 targets — large workloads truncated (or went negative and
+// skipped the loop entirely), silently collapsing measured-time runs.
+#include "support/burn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace ulba::support {
+namespace {
+
+TEST(BurnSteps, RoundsTheProductTowardZero) {
+  EXPECT_EQ(burn_steps(0.0, 4.0), 0);
+  EXPECT_EQ(burn_steps(2.9, 1.0), 2);
+  EXPECT_EQ(burn_steps(10.0, 0.5), 5);
+  EXPECT_EQ(burn_steps(1e6, 8.0), 8000000);
+}
+
+TEST(BurnSteps, NonPositiveAndNanInputsBurnNothing) {
+  EXPECT_EQ(burn_steps(-1.0, 4.0), 0);
+  EXPECT_EQ(burn_steps(1.0, -4.0), 0);
+  EXPECT_EQ(burn_steps(0.2, 0.0), 0);
+  EXPECT_EQ(burn_steps(std::numeric_limits<double>::quiet_NaN(), 1.0), 0);
+  EXPECT_EQ(burn_steps(1.0, std::numeric_limits<double>::quiet_NaN()), 0);
+}
+
+TEST(BurnSteps, LargeWorkloadsClampInsteadOfOverflowing) {
+  // Anything past the cap — including products far beyond int64 range, which
+  // the old `long` cast mangled — clamps to the positive maximum.
+  EXPECT_EQ(burn_steps(static_cast<double>(kMaxBurnSteps), 1.0),
+            kMaxBurnSteps);
+  EXPECT_EQ(burn_steps(1e30, 1e9), kMaxBurnSteps);
+  EXPECT_EQ(burn_steps(std::numeric_limits<double>::infinity(), 1.0),
+            kMaxBurnSteps);
+  // The 32-bit boundary specifically: one step beyond LONG_MAX on LLP64
+  // must survive as a positive 64-bit count, not wrap negative.
+  const double beyond_32bit = 2.0 * 2147483648.0;  // 2^32
+  EXPECT_EQ(burn_steps(beyond_32bit, 1.0), std::int64_t{1} << 32);
+}
+
+TEST(BurnSteps, StaysWithinInt64ForEveryFiniteInput) {
+  for (const double flop :
+       {1.0, 1e9, 1e18, 1e30, std::numeric_limits<double>::max()}) {
+    for (const double scale : {1.0, 1e6, 1e12}) {
+      const std::int64_t steps = burn_steps(flop, scale);
+      EXPECT_GE(steps, 0) << flop << " * " << scale;
+      EXPECT_LE(steps, kMaxBurnSteps) << flop << " * " << scale;
+    }
+  }
+}
+
+TEST(Burn, ActuallySpendsTimeProportionallyToTheStepCount) {
+  using Clock = std::chrono::steady_clock;
+  const auto time_of = [](double flop) {
+    const auto t0 = Clock::now();
+    burn(flop, 1.0);
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  // Generous structural bound only (CI hosts are noisy): a 100x bigger burn
+  // must not be faster than a tiny one, and both must return.
+  const double small = time_of(1e4);
+  const double large = time_of(1e6);
+  EXPECT_GE(small, 0.0);
+  EXPECT_GE(large, 0.0);
+  EXPECT_GE(large, small * 0.5);
+}
+
+}  // namespace
+}  // namespace ulba::support

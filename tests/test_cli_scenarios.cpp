@@ -213,7 +213,9 @@ TEST(CliScenarios, DistributedReportMatchesSerialReport) {
       while (std::getline(in, line)) {
         if (line.find("distributed stepping") != std::string::npos ||
             line.find("rank migration") != std::string::npos ||
-            line.find("disc move(s)") != std::string::npos || line.empty())
+            line.find("disc move(s)") != std::string::npos ||
+            line.find("per-step exchange") != std::string::npos ||
+            line.find(" messages, ") != std::string::npos || line.empty())
           continue;
         out += line + "\n";
       }
@@ -317,10 +319,24 @@ TEST(CliScenarios, RanksFlagIsValidatedAndExclusive) {
   // AppConfig::validate: ranks must not exceed the PE count.
   EXPECT_THROW(run({"erosion", "--pes", "8", "--ranks", "16"}, out),
                std::invalid_argument);
-  // The distributed stepper is exclusive with both --mt and --shards.
-  EXPECT_THROW(run({"erosion", "--mt", "--ranks", "2"}, out),
-               std::invalid_argument);
+  // The distributed stepper is exclusive with --shards (but composes with
+  // --mt: that combination is the measured-time distributed mode).
   EXPECT_THROW(run({"erosion", "--shards", "2", "--ranks", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--shards", "2", "--ranks", "2"}, out),
+               std::invalid_argument);
+  // The measured-time knobs require --mt; the exchange knob requires the
+  // distributed stepper; bad exchange names are rejected up front.
+  EXPECT_THROW(run({"erosion", "--ns-scale", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--migration-scale", "2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--ns-scale", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--exchange", "neighbor"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--ranks", "2", "--exchange", "hypercube"},
+                   out),
                std::invalid_argument);
   EXPECT_THROW(run({"quickstart", "--ranks", "-1"}, out),
                std::invalid_argument);

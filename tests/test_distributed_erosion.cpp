@@ -219,6 +219,140 @@ TEST(DistributedErosion, MidRunMigrationKeepsTrajectoryAndCover) {
   }
 }
 
+/// Both wire protocols must produce the SAME domain — bit-equal weights,
+/// counters, and master-stream position — including across a mid-run
+/// rebalance that reshapes the neighbor sets.
+TEST(DistributedErosion, StepExchangeModesAreBitIdenticalAcrossModes) {
+  constexpr int kSteps = 18;
+  support::Rng config_rng(808);
+  for (int trial = 0; trial < 2; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 700 + static_cast<std::uint64_t>(trial);
+    const SerialReference ref = serial_reference(cfg, seed, kSteps);
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const int ranks : {2, 4, 8}) {
+        if (ranks > cfg.columns) continue;
+        for (const ExchangeMode mode :
+             {ExchangeMode::kAllToAll, ExchangeMode::kNeighbor}) {
+          runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+            DistributedDomain domain(cfg, comm, shared_partitioner(name),
+                                     mode);
+            support::Rng rng(seed);
+            for (int s = 0; s < kSteps; ++s) {
+              (void)domain.step(rng);
+              if (s == kSteps / 2) (void)domain.rebalance();
+            }
+            expect_matches_reference(
+                ref, domain, rng,
+                "exchange " + exchange_mode_name(mode) + ", partitioner " +
+                    name + ", ranks " + std::to_string(ranks));
+          });
+        }
+      }
+    }
+  }
+}
+
+/// The headline property of the neighbor-aware exchange: on the app-shaped
+/// domain (localized discs, one per initial stripe) it sends strictly fewer
+/// per-step messages — and fewer payload bytes — than the all-to-all
+/// reference for every R ≥ 4, while the runtime-layer traffic counters
+/// confirm the domain's own accounting message for message.
+TEST(DistributedErosion, NeighborExchangeSendsStrictlyFewerStepMessages) {
+  // The golden-config geometry: 16 discs of radius 16 on 48-column stripes.
+  DomainConfig cfg;
+  cfg.columns = 16 * 48;
+  cfg.rows = 64;
+  for (std::int64_t i = 0; i < 16; ++i)
+    cfg.discs.push_back({i * 48 + 24, 32, 16, i == 7 ? 0.4 : 0.02});
+  cfg.validate();
+  constexpr int kSteps = 10;
+
+  for (const std::string& name : lb::partitioner_names()) {
+    for (const int ranks : {4, 8}) {
+      std::uint64_t msgs[2] = {0, 0};
+      std::uint64_t bytes[2] = {0, 0};
+      for (const ExchangeMode mode :
+           {ExchangeMode::kAllToAll, ExchangeMode::kNeighbor}) {
+        const auto m = static_cast<std::size_t>(mode == ExchangeMode::kNeighbor);
+        runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+          DistributedDomain domain(cfg, comm, shared_partitioner(name), mode);
+          // The traffic counters are world-global, so each snapshot sits in
+          // a barrier-bracketed quiescent window (a lone barrier is not
+          // enough: released ranks race ahead into their next sends).
+          comm.barrier();
+          const runtime::TrafficCounters before = comm.traffic();
+          comm.barrier();
+          support::Rng rng(4);
+          for (int s = 0; s < kSteps; ++s) (void)domain.step(rng);
+          comm.barrier();
+          const runtime::TrafficCounters after = comm.traffic();
+          comm.barrier();
+          const auto my_msgs =
+              static_cast<std::int64_t>(domain.step_messages_sent());
+          const auto my_bytes =
+              static_cast<std::int64_t>(domain.step_payload_bytes_sent());
+          const std::int64_t total_msgs = comm.allreduce(my_msgs);
+          const std::int64_t total_bytes = comm.allreduce(my_bytes);
+          if (comm.rank() == 0) {
+            msgs[m] = static_cast<std::uint64_t>(total_msgs);
+            bytes[m] = static_cast<std::uint64_t>(total_bytes);
+            // The pure step loop sends nothing but the exchange itself, so
+            // the runtime counters must agree exactly with the domain's
+            // accounting (minus the allreduce/barrier bracket, which runs
+            // after `after` was snapshotted).
+            EXPECT_EQ(after.messages - before.messages,
+                      static_cast<std::uint64_t>(total_msgs))
+                << name << ", ranks " << ranks << ", "
+                << exchange_mode_name(mode);
+            EXPECT_EQ(after.payload_bytes - before.payload_bytes,
+                      static_cast<std::uint64_t>(total_bytes))
+                << name << ", ranks " << ranks << ", "
+                << exchange_mode_name(mode);
+          }
+        });
+      }
+      EXPECT_LT(msgs[1], msgs[0])
+          << name << ", ranks " << ranks
+          << " — neighbor mode must send strictly fewer step messages";
+      EXPECT_LT(bytes[1], bytes[0]) << name << ", ranks " << ranks;
+      // All-to-all is exactly R·(R−1) messages per step, by construction.
+      EXPECT_EQ(msgs[0], static_cast<std::uint64_t>(ranks) *
+                             static_cast<std::uint64_t>(ranks - 1) * kSteps);
+    }
+  }
+}
+
+/// Neighbor sets are derived from replicated state, so the send set of rank
+/// q must mirror the recv set of every rank it targets.
+TEST(DistributedErosion, HaloNeighborSetsAreMutuallyConsistent) {
+  const DomainConfig cfg = adversarial_boundary_config();
+  runtime::spmd_run(8, [&](runtime::Comm& comm) {
+    DistributedDomain domain(cfg, comm, shared_partitioner("stripe"));
+    // Exchange the send sets (one small message per peer) and verify each
+    // against the local recv set.
+    std::vector<std::int64_t> mine(domain.halo_send_neighbors().begin(),
+                                   domain.halo_send_neighbors().end());
+    for (int q = 0; q < domain.ranks(); ++q)
+      if (q != domain.rank()) comm.send_span<std::int64_t>(q, 9, mine);
+    for (int q = 0; q < domain.ranks(); ++q) {
+      if (q == domain.rank()) continue;
+      const auto theirs = comm.recv_vector<std::int64_t>(q, 9);
+      const bool q_sends_to_me =
+          std::find(theirs.begin(), theirs.end(),
+                    static_cast<std::int64_t>(domain.rank())) != theirs.end();
+      const auto& rn = domain.halo_recv_neighbors();
+      const bool i_expect_q = std::find(rn.begin(), rn.end(), q) != rn.end();
+      EXPECT_EQ(q_sends_to_me, i_expect_q)
+          << "rank " << domain.rank() << " vs rank " << q;
+    }
+    // The adversarial discs straddle stripes, so SOMEONE has neighbors.
+    const auto any = comm.allreduce(
+        static_cast<std::int64_t>(domain.halo_send_neighbors().size()));
+    EXPECT_GT(any, 0);
+  });
+}
+
 TEST(DistributedErosion, HaloExchangeOnAdversarialBoundaryDiscs) {
   // Both discs straddle multiple 8-column stripes, so every step routes
   // eroded-cell deltas to several owning ranks; the weights must still be
@@ -384,6 +518,56 @@ TEST(DistributedErosion, AppRunResultBitIdenticalToSerial) {
   }
 }
 
+/// App level: the two exchange modes must yield the same RunResult bit for
+/// bit (only the step-traffic accounting may differ), and the neighbor mode
+/// must be the cheaper one.
+TEST(DistributedErosion, AppExchangeModesBitIdenticalNeighborCheaper) {
+  erosion::AppConfig cfg;
+  cfg.pe_count = 16;
+  cfg.columns_per_pe = 48;
+  cfg.rows = 64;
+  cfg.rock_radius = 16;
+  cfg.iterations = 40;
+  cfg.seed = 3;
+  cfg.method = Method::kUlba;
+  cfg.bytes_per_cell = 256.0;
+  cfg.comm.latency_s = 1e-4;
+  cfg.comm.bandwidth_Bps = 2e9;
+
+  for (const std::int64_t ranks : {4, 8}) {
+    AppConfig a2a_cfg = cfg;
+    a2a_cfg.ranks = ranks;
+    a2a_cfg.exchange = "alltoall";
+    AppConfig nbr_cfg = a2a_cfg;
+    nbr_cfg.exchange = "neighbor";
+    const RunResult a2a = ErosionApp(a2a_cfg).run();
+    const RunResult nbr = ErosionApp(nbr_cfg).run();
+    const std::string what = "ranks " + std::to_string(ranks);
+
+    EXPECT_EQ(a2a.total_seconds, nbr.total_seconds) << what;
+    EXPECT_EQ(a2a.compute_seconds, nbr.compute_seconds) << what;
+    EXPECT_EQ(a2a.lb_seconds, nbr.lb_seconds) << what;
+    EXPECT_EQ(a2a.lb_count, nbr.lb_count) << what;
+    EXPECT_EQ(a2a.eroded_cells, nbr.eroded_cells) << what;
+    EXPECT_EQ(a2a.final_imbalance, nbr.final_imbalance) << what;
+    EXPECT_EQ(a2a.lb_iterations, nbr.lb_iterations) << what;
+    EXPECT_EQ(a2a.lb_alphas, nbr.lb_alphas) << what;
+    EXPECT_EQ(a2a.rank_discs_moved, nbr.rank_discs_moved) << what;
+    EXPECT_EQ(a2a.rank_migration_bytes, nbr.rank_migration_bytes) << what;
+    EXPECT_EQ(a2a.rank_observed_bytes, nbr.rank_observed_bytes) << what;
+    ASSERT_EQ(a2a.iterations.size(), nbr.iterations.size()) << what;
+    for (std::size_t i = 0; i < a2a.iterations.size(); ++i) {
+      EXPECT_EQ(a2a.iterations[i].seconds, nbr.iterations[i].seconds)
+          << what << " — iteration " << i;
+      EXPECT_EQ(a2a.iterations[i].degradation, nbr.iterations[i].degradation)
+          << what << " — iteration " << i;
+    }
+    EXPECT_GT(a2a.rank_step_messages, 0) << what;
+    EXPECT_LT(nbr.rank_step_messages, a2a.rank_step_messages) << what;
+    EXPECT_LT(nbr.rank_step_bytes, a2a.rank_step_bytes) << what;
+  }
+}
+
 TEST(DistributedErosion, AppConfigRejectsRanksShardsCombination) {
   erosion::AppConfig cfg;
   cfg.ranks = 2;
@@ -394,6 +578,34 @@ TEST(DistributedErosion, AppConfigRejectsRanksShardsCombination) {
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
   cfg.ranks = 0;
   EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(DistributedErosion, AppConfigValidatesExchangeAndMeasuredKnobs) {
+  erosion::AppConfig cfg;
+  cfg.ranks = 2;
+  cfg.exchange = "broadcast-tree";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.exchange = "alltoall";
+  cfg.validate();
+  cfg.exchange = "neighbor";
+  cfg.validate();
+  // Measured mode needs the SPMD substrate and positive cost scales.
+  cfg.measure_time = true;
+  cfg.validate();
+  cfg.ranks = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ranks = 2;
+  cfg.ns_scale = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.ns_scale = 4.0;
+  cfg.migration_scale = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW((void)exchange_mode_from_name("hypercube"),
+               std::invalid_argument);
+  EXPECT_EQ(exchange_mode_name(exchange_mode_from_name("neighbor")),
+            "neighbor");
+  EXPECT_EQ(exchange_mode_name(exchange_mode_from_name("alltoall")),
+            "alltoall");
 }
 
 TEST(DistributedErosion, RejectsDegenerateConfigurations) {

@@ -105,10 +105,28 @@ def update_baseline(measured, baseline_path, unit):
     return 0
 
 
+USAGE = ("usage: perf_gate.py [--update] <results: junit .xml | "
+         "google-benchmark .json> <baseline .json>")
+
+
 def main() -> int:
-    args = [a for a in sys.argv[1:] if a != "--update"]
-    update = "--update" in sys.argv[1:]
+    # Strict option parsing: --update is the only option. Anything else
+    # that looks like a flag is a usage error (exit 2), never a file path —
+    # previously `perf_gate.py --updtae results.json baseline.json` fell
+    # through to open("--updtae") and died with a confusing FileNotFoundError
+    # while silently treating the baseline as the results file.
+    update = False
+    args = []
+    for arg in sys.argv[1:]:
+        if arg == "--update":
+            update = True
+        elif arg.startswith("-"):
+            print(f"error: unknown option '{arg}'\n{USAGE}", file=sys.stderr)
+            return 2
+        else:
+            args.append(arg)
     if len(args) != 2:
+        print(USAGE, file=sys.stderr)
         print(__doc__, file=sys.stderr)
         return 2
     results_path, baseline_path = args
