@@ -6,6 +6,9 @@
 // annealing steps, DP optimization, erosion steps).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <optional>
+
 #include "core/gossip.hpp"
 #include "core/instance.hpp"
 #include "core/intervals.hpp"
@@ -20,6 +23,7 @@
 #include "opt/dp_optimal.hpp"
 #include "opt/schedule_problem.hpp"
 #include "runtime/spmd.hpp"
+#include "support/counter_rng.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -106,26 +110,86 @@ void BM_GossipRound(benchmark::State& state) {
 }
 BENCHMARK(BM_GossipRound)->Arg(64)->Arg(256);
 
-void BM_ErosionStep(benchmark::State& state) {
+/// The shared erosion workload of the stepper benchmarks: 16 discs on a
+/// 4096x256 field, one strongly erodible.
+erosion::DomainConfig bench_erosion_config() {
   erosion::DomainConfig cfg;
   cfg.columns = 4096;
   cfg.rows = 256;
   for (int i = 0; i < 16; ++i)
     cfg.discs.push_back(
         erosion::RockDisc{128 + 256 * i, 128, 64, i == 0 ? 0.4 : 0.02});
-  erosion::ErosionDomain domain(cfg);
+  return cfg;
+}
+
+void BM_ErosionStep(benchmark::State& state) {
+  erosion::ErosionDomain domain(bench_erosion_config());
   support::Rng rng(4);
   for (auto _ : state) benchmark::DoNotOptimize(domain.step(rng));
 }
 BENCHMARK(BM_ErosionStep);
 
+/// One Philox draw through the counter RNG — the per-cell cost floor of the
+/// counter stepper's decide pass.
+void BM_CounterRngDraw(benchmark::State& state) {
+  const support::CounterRng rng(4, 7);
+  std::uint64_t cell = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rng.uniform01(11, ++cell));
+}
+BENCHMARK(BM_CounterRngDraw);
+
+// The fork-vs-counter pair below is the perf-gated comparison: identical
+// workload, identical reset cadence (erosion decays the frontier, so an
+// ever-evolving domain would measure a shrinking problem — both benches
+// rebuild the domain every 48 steps, outside the timed region). The ratio
+// BM_ErosionStepFork/BM_ErosionStepCounter/1 is gated at >= 1.5x, and
+// .../8 at >= 6x on machines with >= 8 CPUs (see bench/baselines).
+constexpr int kStepsPerEpoch = 48;
+
+void BM_ErosionStepFork(benchmark::State& state) {
+  erosion::ErosionDomain domain(bench_erosion_config());
+  support::Rng rng(4);
+  int steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain.step(rng));
+    if (++steps == kStepsPerEpoch) {
+      state.PauseTiming();
+      domain = erosion::ErosionDomain(bench_erosion_config());
+      rng = support::Rng(4);
+      steps = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+// Real time, not cpu_time: the counter benchmarks hand work to a pool, and
+// the main thread's CPU clock would miss it. Fork uses the same clock so
+// the fork/counter ratios compare like with like.
+BENCHMARK(BM_ErosionStepFork)->UseRealTime();
+
+void BM_ErosionStepCounter(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::optional<support::ThreadPool> pool;
+  if (threads > 1) pool.emplace(threads);
+  erosion::ErosionDomain domain(bench_erosion_config());
+  std::int64_t iter = 0;
+  int steps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        domain.step_counter(4, iter++, pool ? &*pool : nullptr));
+    if (++steps == kStepsPerEpoch) {
+      state.PauseTiming();
+      domain = erosion::ErosionDomain(bench_erosion_config());
+      iter = 0;
+      steps = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_ErosionStepCounter)->Arg(1)->Arg(8)->UseRealTime();
+
 void BM_ShardedErosionStep(benchmark::State& state) {
-  erosion::DomainConfig cfg;
-  cfg.columns = 4096;
-  cfg.rows = 256;
-  for (int i = 0; i < 16; ++i)
-    cfg.discs.push_back(
-        erosion::RockDisc{128 + 256 * i, 128, 64, i == 0 ? 0.4 : 0.02});
+  erosion::DomainConfig cfg = bench_erosion_config();
   erosion::ShardedDomain domain(
       cfg, state.range(0),
       std::shared_ptr<const lb::Partitioner>(lb::make_partitioner("greedy")));

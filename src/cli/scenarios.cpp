@@ -157,7 +157,7 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   flags.require_known({"mt", "pes", "strong", "seed", "iterations", "alpha",
                        "columns-per-pe", "rows", "rock-radius", "threads",
                        "shards", "ranks", "partitioner", "exchange",
-                       "ns-scale", "migration-scale"});
+                       "ns-scale", "migration-scale", "rng"});
   const bool mt = flags.has("mt");
   const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
   const std::int64_t strong = flags.get_int("strong", 1);
@@ -168,6 +168,8 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   const std::int64_t ranks = flags.get_int("ranks", 1);
   const std::string partitioner = flags.get_string("partitioner", "greedy");
   const std::string exchange = flags.get_string("exchange", "neighbor");
+  const erosion::RngKind rng_kind =
+      erosion::rng_kind_from_name(flags.get_string("rng", "fork"));
   const double ns_scale = flags.get_double("ns-scale", 4.0);
   const double migration_scale = flags.get_double("migration-scale", 8.0);
   ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
@@ -201,6 +203,10 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   ULBA_REQUIRE(!flags.has("exchange") || ranks > 1,
                "--exchange routes the distributed step exchange; pass "
                "--ranks");
+  ULBA_REQUIRE(!flags.has("rng") || !mt || ranks > 1,
+               "--rng selects the virtual-time dynamics stream; the legacy "
+               "--mt thread app has its own stepper (combine --mt with "
+               "--ranks for the measured-time distributed mode)");
 
   if (mt && ranks == 1) {
     erosion::ThreadedConfig cfg;
@@ -264,6 +270,7 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   cfg.measure_time = mt;
   cfg.ns_scale = ns_scale;
   cfg.migration_scale = migration_scale;
+  cfg.rng_kind = rng_kind;
   cfg.validate();
 
   out << "Erosion demo: " << cfg.pe_count << " PEs, "
@@ -272,6 +279,10 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
       << "(domain " << cfg.columns() << "x" << cfg.rows
       << " cells, rock radius " << cfg.rock_radius << ", alpha = "
       << cfg.alpha << ", " << cfg.threads << " stepping thread(s))\n";
+  if (cfg.rng_kind == erosion::RngKind::kCounter)
+    out << "(counter-based RNG: Philox draws addressed by (disc, iteration, "
+           "cell); one trajectory for every threads/shards/ranks "
+           "combination)\n";
   if (cfg.shards > 1)
     out << "(sharded stepping: " << cfg.shards << " shards cut by "
         << cfg.partitioner

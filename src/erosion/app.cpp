@@ -42,6 +42,23 @@ std::string alpha_policy_name(AlphaPolicy policy) {
   return "fixed";
 }
 
+RngKind rng_kind_from_name(const std::string& name) {
+  if (name == "fork") return RngKind::kFork;
+  if (name == "counter") return RngKind::kCounter;
+  throw std::invalid_argument("unknown rng kind '" + name +
+                              "' (accepted: fork, counter)");
+}
+
+std::string rng_kind_name(RngKind kind) {
+  switch (kind) {
+    case RngKind::kFork:
+      return "fork";
+    case RngKind::kCounter:
+      return "counter";
+  }
+  return "fork";
+}
+
 namespace {
 
 /// AlphaPolicy::kGossipFraction — shrink the base α as the detected
@@ -402,7 +419,11 @@ RunResult run_distributed(const AppConfig& config,
             lb::make_partitioner(config.partitioner));
         DistributedDomain domain(domain_config, comm, partitioner,
                                  exchange_mode_from_name(config.exchange));
+        // Both RNG kinds key the dynamics off the same forked sub-seed, so
+        // neither can collide with the placement/gossip streams.
         support::Rng dynamics_rng = support::Rng(config.seed).fork(1);
+        const std::uint64_t dynamics_seed = dynamics_rng.seed();
+        const bool counter = config.rng_kind == RngKind::kCounter;
         std::optional<support::ThreadPool> pool;
         if (config.threads > 1)
           pool.emplace(static_cast<std::size_t>(config.threads));
@@ -446,7 +467,10 @@ RunResult run_distributed(const AppConfig& config,
           }
 
           // Application dynamics (collective; independent of LB decisions).
-          if (pool)
+          if (counter)
+            (void)domain.step_counter(dynamics_seed, iter,
+                                      pool ? &*pool : nullptr);
+          else if (pool)
             (void)domain.step(dynamics_rng, *pool);
           else
             (void)domain.step(dynamics_rng);
@@ -602,8 +626,12 @@ RunResult ErosionApp::run() const {
   if (config_.ranks > 1) return run_distributed(config_, make_domain());
 
   // Independent streams: the dynamics stream must not depend on LB decisions
-  // so both methods see identical erosion for one seed.
+  // so both methods see identical erosion for one seed. The counter kind
+  // keys off the same forked sub-seed (its draws are position-addressed, so
+  // the seed is all it consumes from the stream machinery).
   support::Rng dynamics_rng = support::Rng(config_.seed).fork(1);
+  const std::uint64_t dynamics_seed = dynamics_rng.seed();
+  const bool counter = config_.rng_kind == RngKind::kCounter;
 
   // One partitioner serves both the centralized LB technique's cuts and the
   // host-side disc-to-shard assignment of the sharded stepper.
@@ -633,7 +661,13 @@ RunResult ErosionApp::run() const {
     ctl.observe(iter, domain.column_weights());
 
     // --- application dynamics (independent of every LB decision)
-    if (sharded) {
+    if (counter) {
+      support::ThreadPool* p = pool ? &*pool : nullptr;
+      if (sharded)
+        sharded->step_counter(dynamics_seed, iter, p);
+      else
+        plain->step_counter(dynamics_seed, iter, p);
+    } else if (sharded) {
       if (pool)
         sharded->step(dynamics_rng, *pool);
       else

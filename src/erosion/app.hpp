@@ -57,6 +57,25 @@ enum class AlphaPolicy {
 [[nodiscard]] AlphaPolicy alpha_policy_from_name(const std::string& name);
 [[nodiscard]] std::string alpha_policy_name(AlphaPolicy policy);
 
+/// Which random-number discipline steps the erosion dynamics. The two kinds
+/// are DIFFERENT (equally deterministic, equally golden-locked) streams —
+/// a run's trajectory is comparable only within one kind.
+enum class RngKind {
+  /// Sequential mt19937_64 streams split by fork-in-disc-order — the
+  /// historical trajectories (shared stream at threads == 1, per-disc
+  /// substreams above; sharded/distributed reproduce the shared stream).
+  kFork,
+  /// Counter-based Philox draws addressed by (disc, iteration, cell)
+  /// through support::CounterRng: decide AND commit run fully parallel, and
+  /// ONE trajectory serves every (threads × shards × ranks) combination.
+  kCounter,
+};
+
+/// Parse "fork" | "counter" (the `--rng` vocabulary); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] RngKind rng_kind_from_name(const std::string& name);
+[[nodiscard]] std::string rng_kind_name(RngKind kind);
+
 /// When to invoke the load balancer (the ablation knob of E-X2; the paper
 /// always uses the adaptive trigger).
 enum class TriggerMode {
@@ -156,6 +175,14 @@ struct AppConfig {
   /// also feeds the adaptive trigger's Eq. (11) overhead term, so trigger
   /// and LB step agree on the α about to be applied.
   AlphaPolicy alpha_policy = AlphaPolicy::kFixed;
+
+  /// RNG discipline of the erosion dynamics (see RngKind). kFork keeps the
+  /// historical golden trajectories; kCounter switches every stepper —
+  /// plain, pooled, sharded, distributed — onto the shared counter-kernel
+  /// fast path, whose single trajectory is invariant across ALL of
+  /// `threads`, `shards`, and `ranks`. The dynamics stay independent of LB
+  /// decisions in both kinds.
+  RngKind rng_kind = RngKind::kFork;
 
   void validate() const;
 

@@ -178,7 +178,6 @@ std::int64_t DistributedDomain::step(support::Rng& rng) {
 std::int64_t DistributedDomain::step(support::Rng& rng,
                                      support::ThreadPool& pool) {
   const std::size_t n = config_.discs.size();
-  const int R = ranks();
   const int r = rank();
 
   // Phase 1 — lockstep stream split: every rank advances its own copy of
@@ -200,6 +199,28 @@ std::int64_t DistributedDomain::step(support::Rng& rng,
     erode[k] = decide_disc(local_discs_[k], streams[k]);
     apply_disc(local_discs_[k], erode[k]);
   });
+
+  return finish_step(erode);
+}
+
+std::int64_t DistributedDomain::step_counter(std::uint64_t seed,
+                                             std::int64_t iteration,
+                                             support::ThreadPool* pool) {
+  // Phases 1+2 of the fork path collapse into one kernel call: draws are
+  // addressed by (global disc id, iteration, cell), so there is no master
+  // stream to position — no burn pass, no snapshots, no O(global frontier)
+  // work per rank. The exchange tail is shared with the fork path.
+  (void)counter_decide_apply(local_discs_, local_disc_ids_, seed, iteration,
+                             pool, counter_ws_);
+  return finish_step(counter_ws_.erode);
+}
+
+std::int64_t DistributedDomain::finish_step(
+    std::span<const std::vector<std::int32_t>> erode) {
+  const int R = ranks();
+  const int r = rank();
+  ULBA_CHECK(erode.size() == local_discs_.size(),
+             "finish_step needs one erode list per local disc");
 
   // Phase 3 — commit my columns; bucket the halo deltas (eroded cells in
   // columns another rank owns — a disc straddling a stripe boundary) per

@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "erosion/counter_kernel.hpp"
 #include "erosion/disc.hpp"
 #include "erosion/domain.hpp"
 #include "lb/migration.hpp"
@@ -121,6 +122,18 @@ class DistributedDomain {
   /// Collective: one erosion iteration, local discs stepped across `pool`
   /// (a rank-local pool). Bit-identical to the serial overload.
   std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
+
+  /// Collective: one erosion iteration on the counter-RNG fast path. Draws
+  /// are addressed by (global disc id, iteration, cell) through
+  /// support::CounterRng, so the lockstep burn pass of `step(rng)`
+  /// disappears entirely — no rank ever advances a master-stream copy, and
+  /// the per-step cost of a rank is O(its own frontier), not O(the global
+  /// frontier). Bit-identical to ErosionDomain::step_counter on an
+  /// undistributed copy for every (rank count, partitioner, exchange mode,
+  /// pool size) by construction; shares the halo/reduction exchange with
+  /// the fork path.
+  std::int64_t step_counter(std::uint64_t seed, std::int64_t iteration,
+                            support::ThreadPool* pool = nullptr);
 
   /// Collective: recut the rank stripes against the current column weights
   /// (even targets) and migrate column weights + disc ownership as real
@@ -227,6 +240,11 @@ class DistributedDomain {
   /// Apply `count` eroded cells to column `x` of my stripe, one cell at a
   /// time (the serial commit's per-cell accounting, so FP results agree).
   void credit_column(std::int64_t x, std::int64_t count);
+  /// The stepper tail every RNG kind shares — commit my columns, bucket and
+  /// exchange halo deltas + frontier metadata + the eroded reduction, fold
+  /// the replicated global accounting. `erode[k]` holds the cells the k-th
+  /// LOCAL disc eroded this step. Returns the global eroded count.
+  std::int64_t finish_step(std::span<const std::vector<std::int32_t>> erode);
   /// Record one step()-phase send of `bytes` payload bytes.
   void count_step_send(std::size_t bytes) noexcept {
     ++step_messages_;
@@ -252,6 +270,7 @@ class DistributedDomain {
   double total_ = 0.0;           ///< replicated global Wtot
   std::int64_t rock_remaining_ = 0;
   std::int64_t eroded_ = 0;
+  CounterWorkspace counter_ws_;  ///< step_counter's reusable flat buffers
 };
 
 }  // namespace ulba::erosion

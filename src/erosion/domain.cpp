@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "support/require.hpp"
 
@@ -92,6 +93,25 @@ std::int64_t ErosionDomain::step(support::Rng& rng,
   std::int64_t eroded = 0;
   for (std::size_t i = 0; i < discs_.size(); ++i)
     eroded += commit_disc(discs_[i], to_erode[i]);
+  eroded_ += eroded;
+  return eroded;
+}
+
+std::int64_t ErosionDomain::step_counter(std::uint64_t seed,
+                                         std::int64_t iteration,
+                                         support::ThreadPool* pool) {
+  if (counter_ids_.size() != discs_.size()) {
+    counter_ids_.resize(discs_.size());
+    std::iota(counter_ids_.begin(), counter_ids_.end(), std::size_t{0});
+  }
+  (void)counter_decide_apply(discs_, counter_ids_, seed, iteration, pool,
+                             counter_ws_);
+  // The commit is order-independent (each eroded cell adds the same
+  // constant to a column accumulator), so the disc-order loop below is a
+  // convention, not a serialization requirement — see counter_kernel.hpp.
+  std::int64_t eroded = 0;
+  for (std::size_t i = 0; i < discs_.size(); ++i)
+    eroded += commit_disc(discs_[i], counter_ws_.erode[i]);
   eroded_ += eroded;
   return eroded;
 }

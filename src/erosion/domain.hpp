@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "erosion/counter_kernel.hpp"
 #include "erosion/disc.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
@@ -72,6 +73,17 @@ class ErosionDomain {
   /// exactly disc-count draws regardless of erosion outcomes.
   std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
 
+  /// One erosion iteration on the counter-RNG fast path: every Bernoulli
+  /// draw is addressed by (disc, iteration, cell) through support::CounterRng
+  /// keyed with `seed` (see erosion/counter_kernel.hpp), so decide AND apply
+  /// run fully parallel and the result is bit-identical for EVERY pool size
+  /// — nullptr and a pool of 1 are the serial reference. A different (equally
+  /// deterministic and equally locked) trajectory than both fork-RNG
+  /// `step(rng)` overloads; `iteration` must advance by one per call to
+  /// address fresh draws.
+  std::int64_t step_counter(std::uint64_t seed, std::int64_t iteration,
+                            support::ThreadPool* pool = nullptr);
+
   /// Per-column workload [FLOP] — what the stripe partitioner cuts.
   [[nodiscard]] std::span<const double> column_weights() const noexcept {
     return weights_;
@@ -122,6 +134,9 @@ class ErosionDomain {
   double total_ = 0.0;
   std::int64_t rock_remaining_ = 0;
   std::int64_t eroded_ = 0;
+  // step_counter's reusable buffers: [0, disc_count) ids + flat SoA arrays.
+  std::vector<std::size_t> counter_ids_;
+  CounterWorkspace counter_ws_;
 };
 
 }  // namespace ulba::erosion

@@ -107,6 +107,12 @@ std::int64_t ShardedDomain::step(support::Rng& rng,
   return eroded;
 }
 
+std::int64_t ShardedDomain::step_counter(std::uint64_t seed,
+                                         std::int64_t iteration,
+                                         support::ThreadPool* pool) {
+  return domain_.step_counter(seed, iteration, pool);
+}
+
 ReshardResult ShardedDomain::rebalance() {
   const std::vector<double> targets(
       static_cast<std::size_t>(shard_count()),

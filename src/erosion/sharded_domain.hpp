@@ -70,6 +70,16 @@ class ShardedDomain {
   /// `ErosionDomain::step(rng)` on an unsharded copy, for every pool size.
   std::int64_t step(support::Rng& rng, support::ThreadPool& pool);
 
+  /// One erosion iteration on the counter-RNG fast path — delegates to
+  /// ErosionDomain::step_counter, where draws are position-addressed, so the
+  /// shard assignment cannot influence the trajectory AT ALL: bit-identical
+  /// to the unsharded counter stepper for every (shard count, partitioner,
+  /// pool size) by construction. Sharding remains the ownership/migration
+  /// accounting layer (rebalance, shard_loads); stepping parallelism comes
+  /// from the kernel's flat chunking instead of per-shard tasks.
+  std::int64_t step_counter(std::uint64_t seed, std::int64_t iteration,
+                            support::ThreadPool* pool = nullptr);
+
   /// Recut the shard stripes against the current column weights (even
   /// targets) and exchange disc ownership accordingly. The stepping
   /// trajectory is unaffected — only host-side parallelism and the reported

@@ -124,6 +124,18 @@ TEST(CliGolden, ErosionDistributed) {
        "4", "--threads", "2"});
 }
 
+TEST(CliGolden, ErosionCounter) {
+  // The counter-RNG fast path (--rng counter): a DIFFERENT golden trajectory
+  // than the fork goldens above — position-addressed Philox draws — and THE
+  // one trajectory every threads/shards/ranks combination must reproduce
+  // (see CounterReportInvariantAcrossSteppers below).
+  expect_matches_golden(
+      "erosion_counter", {"erosion", "--pes", "16", "--iterations", "60",
+                          "--columns-per-pe", "48", "--rows", "64",
+                          "--rock-radius", "16", "--seed", "3", "--rng",
+                          "counter"});
+}
+
 TEST(CliGolden, IntervalQuality) {
   expect_matches_golden("interval_quality",
                         {"interval-quality", "--instances", "40",
@@ -223,6 +235,50 @@ TEST(CliScenarios, DistributedReportMatchesSerialReport) {
     };
     EXPECT_EQ(strip(serial), strip(distributed)) << "--ranks " << ranks;
   }
+}
+
+// The counter kind's report is invariant across EVERY stepping substrate —
+// threads, shards, ranks — modulo the substrate-specific header/accounting
+// lines, and differs from the fork kind's report for the same seed.
+TEST(CliScenarios, CounterReportInvariantAcrossSteppers) {
+  const std::vector<std::string> base{
+      "erosion", "--pes",        "16", "--iterations", "60",
+      "--columns-per-pe", "48",  "--rows", "64", "--rock-radius", "16",
+      "--seed", "3", "--rng", "counter"};
+  const auto strip = [](const std::string& text) {
+    std::istringstream in(text);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (line.find("stepping thread(s)") != std::string::npos ||
+          line.find("sharded stepping") != std::string::npos ||
+          line.find("distributed stepping") != std::string::npos ||
+          line.find("re-sharding") != std::string::npos ||
+          line.find("rank migration") != std::string::npos ||
+          line.find("disc move(s)") != std::string::npos ||
+          line.find("per-step exchange") != std::string::npos ||
+          line.find(" messages, ") != std::string::npos || line.empty())
+        continue;
+      out += line + "\n";
+    }
+    return out;
+  };
+  const std::string serial = strip(run_cli(base));
+  const auto with = [&](std::initializer_list<const char*> extra) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return strip(run_cli(args));
+  };
+  EXPECT_EQ(serial, with({"--threads", "4"})) << "--threads 4";
+  EXPECT_EQ(serial, with({"--shards", "4", "--threads", "2"})) << "--shards";
+  EXPECT_EQ(serial, with({"--ranks", "4", "--threads", "2"})) << "--ranks";
+  EXPECT_EQ(serial, with({"--ranks", "8", "--exchange", "alltoall"}))
+      << "--ranks 8 alltoall";
+
+  // Same seed, fork kind: a different trajectory (and no counter header).
+  std::vector<std::string> fork_args(base.begin(), base.end() - 2);
+  EXPECT_NE(serial, strip(run_cli(fork_args)));
+  EXPECT_EQ(run_cli(fork_args).find("counter-based RNG"), std::string::npos)
+      << "the fork report must not carry the counter header";
 }
 
 // ---------------------------------------------------------------------------
@@ -342,6 +398,25 @@ TEST(CliScenarios, RanksFlagIsValidatedAndExclusive) {
                std::invalid_argument);
   EXPECT_THROW(run({"quickstart", "--shards", "2", "--ranks", "2"}, out),
                std::invalid_argument);
+}
+
+TEST(CliScenarios, RngFlagIsValidatedAndExclusiveWithLegacyMt) {
+  std::ostringstream out;
+  // Unknown kinds are rejected up front (rng_kind_from_name throws).
+  EXPECT_THROW(run({"erosion", "--rng", "philox"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--rng", ""}, out), std::invalid_argument);
+  // The legacy --mt thread app has its own stepper — no --rng there...
+  EXPECT_THROW(run({"erosion", "--mt", "--rng", "counter"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--rng", "fork"}, out),
+               std::invalid_argument);
+  // ...but the measured-time distributed mode keeps the full knob set.
+  EXPECT_EQ(run({"erosion", "--mt", "--ranks", "2", "--rng", "counter",
+                 "--pes", "8", "--iterations", "4", "--columns-per-pe", "24",
+                 "--rows", "32", "--rock-radius", "8"},
+                out),
+            0);
 }
 
 TEST(CliScenarios, IntervalQualityRejectsBadFlags) {

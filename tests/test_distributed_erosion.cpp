@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -179,6 +180,61 @@ TEST(DistributedErosion, BitIdenticalToSerialForEveryRankPartitionerPool) {
                     ", ranks " + std::to_string(ranks) + ", threads " +
                     std::to_string(threads));
           });
+        }
+      }
+    }
+  }
+}
+
+/// The counter-RNG sweep: one serial unsharded counter trajectory must be
+/// reproduced bit for bit by every (rank count, partitioner, exchange mode,
+/// per-rank pool) combination, across mid-run rebalances that migrate disc
+/// ownership as real messages. Unlike the fork sweep there is no burn pass
+/// and no master-stream state to compare — the invariance is structural.
+TEST(DistributedErosion, CounterPathBitIdenticalForEveryRankExchangePool) {
+  constexpr int kSteps = 14;
+  support::Rng config_rng(4242);
+  for (int trial = 0; trial < 2; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 8000 + static_cast<std::uint64_t>(trial);
+
+    // Serial unsharded counter reference.
+    ErosionDomain reference(cfg);
+    for (int s = 0; s < kSteps; ++s) (void)reference.step_counter(seed, s);
+    SerialReference ref;
+    ref.weights.assign(reference.column_weights().begin(),
+                       reference.column_weights().end());
+    ref.total = reference.total_workload();
+    ref.eroded = reference.eroded_cells();
+    ref.rock_remaining = reference.rock_cells_remaining();
+    ref.frontier = reference.frontier_size();
+
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const int ranks : {1, 2, 4, 8}) {
+        for (const ExchangeMode mode :
+             {ExchangeMode::kAllToAll, ExchangeMode::kNeighbor}) {
+          for (const std::size_t threads : {1u, 2u}) {
+            runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+              DistributedDomain domain(cfg, comm, shared_partitioner(name),
+                                       mode);
+              std::optional<support::ThreadPool> pool;
+              if (threads > 1) pool.emplace(threads);
+              std::int64_t eroded_total = 0;
+              for (int s = 0; s < kSteps; ++s) {
+                eroded_total += domain.step_counter(
+                    seed, s, pool ? &*pool : nullptr);
+                if (s == kSteps / 2) (void)domain.rebalance();
+              }
+              EXPECT_EQ(eroded_total, ref.eroded);
+              expect_matches_reference(
+                  ref, domain, support::Rng(0),
+                  "counter trial " + std::to_string(trial) +
+                      ", partitioner " + name + ", ranks " +
+                      std::to_string(ranks) + ", exchange " +
+                      exchange_mode_name(mode) + ", threads " +
+                      std::to_string(threads));
+            });
+          }
         }
       }
     }
@@ -515,6 +571,62 @@ TEST(DistributedErosion, AppRunResultBitIdenticalToSerial) {
       EXPECT_GT(dist.rank_observed_bytes, 0.0)
           << what << " — an LB step fired, so migrations crossed the wire";
     }
+  }
+}
+
+/// App level, counter RNG kind: the serial in-process run, the sharded run,
+/// the pooled run, and the distributed run must produce ONE RunResult bit
+/// for bit — and it must differ from the fork kind's result (different
+/// stream, different trajectory).
+TEST(DistributedErosion, AppCounterKindOneResultAcrossThreadsShardsRanks) {
+  erosion::AppConfig cfg;
+  cfg.pe_count = 16;
+  cfg.columns_per_pe = 48;
+  cfg.rows = 64;
+  cfg.rock_radius = 16;
+  cfg.iterations = 50;
+  cfg.seed = 3;
+  cfg.method = Method::kUlba;
+  cfg.bytes_per_cell = 256.0;
+  cfg.comm.latency_s = 1e-4;
+  cfg.comm.bandwidth_Bps = 2e9;
+  cfg.rng_kind = RngKind::kCounter;
+
+  const RunResult serial = ErosionApp(cfg).run();
+  ASSERT_GE(serial.lb_count, 1)
+      << "the reference run must exercise at least one mid-run LB step";
+
+  AppConfig fork_cfg = cfg;
+  fork_cfg.rng_kind = RngKind::kFork;
+  const RunResult fork = ErosionApp(fork_cfg).run();
+  EXPECT_NE(serial.eroded_cells, fork.eroded_cells)
+      << "counter and fork kinds must be different streams";
+
+  const auto expect_same = [&](const AppConfig& variant,
+                               const std::string& what) {
+    const RunResult got = ErosionApp(variant).run();
+    EXPECT_EQ(serial.total_seconds, got.total_seconds) << what;
+    EXPECT_EQ(serial.compute_seconds, got.compute_seconds) << what;
+    EXPECT_EQ(serial.lb_seconds, got.lb_seconds) << what;
+    EXPECT_EQ(serial.lb_count, got.lb_count) << what;
+    EXPECT_EQ(serial.eroded_cells, got.eroded_cells) << what;
+    EXPECT_EQ(serial.average_utilization, got.average_utilization) << what;
+    EXPECT_EQ(serial.final_imbalance, got.final_imbalance) << what;
+    EXPECT_EQ(serial.lb_iterations, got.lb_iterations) << what;
+    EXPECT_EQ(serial.lb_alphas, got.lb_alphas) << what;
+  };
+  AppConfig threaded = cfg;
+  threaded.threads = 4;
+  expect_same(threaded, "threads 4");
+  AppConfig shard_cfg = cfg;
+  shard_cfg.shards = 4;
+  shard_cfg.threads = 2;
+  expect_same(shard_cfg, "shards 4, threads 2");
+  for (const std::int64_t ranks : {2, 4}) {
+    AppConfig dist_cfg = cfg;
+    dist_cfg.ranks = ranks;
+    dist_cfg.threads = ranks == 4 ? 2 : 1;
+    expect_same(dist_cfg, "ranks " + std::to_string(ranks));
   }
 }
 

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,12 +56,10 @@ void expect_complete_disjoint_cover(const ShardedDomain& sharded) {
                                << " covered by " << owners[disc] << " shards";
 }
 
-/// Bitwise comparison of the full observable state of two domains plus the
-/// master streams that stepped them (drained a few draws to compare).
-void expect_bit_identical(const ErosionDomain& expected,
-                          const ErosionDomain& actual,
-                          support::Rng expected_rng, support::Rng actual_rng,
-                          const std::string& what) {
+/// Bitwise comparison of the full observable state of two domains.
+void expect_domains_bit_identical(const ErosionDomain& expected,
+                                  const ErosionDomain& actual,
+                                  const std::string& what) {
   EXPECT_EQ(expected.eroded_cells(), actual.eroded_cells()) << what;
   EXPECT_EQ(expected.rock_cells_remaining(), actual.rock_cells_remaining())
       << what;
@@ -73,6 +72,15 @@ void expect_bit_identical(const ErosionDomain& expected,
   ASSERT_EQ(w_exp.size(), w_act.size()) << what;
   for (std::size_t x = 0; x < w_exp.size(); ++x)
     ASSERT_EQ(w_exp[x], w_act[x]) << what << " — column " << x;
+}
+
+/// Domain comparison plus the master streams that stepped them (drained a
+/// few draws to compare engine positions).
+void expect_bit_identical(const ErosionDomain& expected,
+                          const ErosionDomain& actual,
+                          support::Rng expected_rng, support::Rng actual_rng,
+                          const std::string& what) {
+  expect_domains_bit_identical(expected, actual, what);
   // The master stream must leave the run in the same state: the serial
   // stepper's data-dependent draws and the sharded stepper's stream split
   // must consume identical engine amounts.
@@ -121,6 +129,49 @@ TEST(ShardedErosion, BitIdenticalToSerialForEveryShardPartitionerPool) {
               reference, sharded.domain(), ref_rng, rng,
               "trial " + std::to_string(trial) + ", partitioner " + name +
                   ", shards " + std::to_string(shards) + ", threads " +
+                  std::to_string(threads));
+        }
+      }
+    }
+  }
+}
+
+/// The counter-RNG sweep: one serial unsharded counter trajectory is THE
+/// trajectory — every (shard count, partitioner, thread count) combination
+/// reproduces it bit for bit, including across mid-run rebalances. Stronger
+/// than the fork sweep above: no stream-split discipline is involved, the
+/// invariance holds because every draw is position-addressed.
+TEST(ShardedErosion, CounterPathBitIdenticalForEveryShardPartitionerPool) {
+  constexpr int kSteps = 20;
+  support::Rng config_rng(404);
+  for (int trial = 0; trial < 3; ++trial) {
+    const DomainConfig cfg = testing::random_domain_config(config_rng);
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(trial);
+
+    // Serial unsharded counter reference.
+    ErosionDomain reference(cfg);
+    for (int s = 0; s < kSteps; ++s) (void)reference.step_counter(seed, s);
+
+    for (const std::string& name : lb::partitioner_names()) {
+      for (const std::int64_t shards : {1, 2, 3, 5, 8}) {
+        for (const std::size_t threads : {1u, 4u}) {
+          ShardedDomain sharded(cfg, shards, shared_partitioner(name));
+          std::optional<support::ThreadPool> pool;
+          if (threads > 1) pool.emplace(threads);
+          std::int64_t eroded_total = 0;
+          for (int s = 0; s < kSteps; ++s) {
+            eroded_total +=
+                sharded.step_counter(seed, s, pool ? &*pool : nullptr);
+            if (s % 7 == 6) {
+              (void)sharded.rebalance();
+              expect_complete_disjoint_cover(sharded);
+            }
+          }
+          EXPECT_EQ(eroded_total, reference.eroded_cells());
+          expect_domains_bit_identical(
+              reference, sharded.domain(),
+              "counter trial " + std::to_string(trial) + ", partitioner " +
+                  name + ", shards " + std::to_string(shards) + ", threads " +
                   std::to_string(threads));
         }
       }

@@ -32,8 +32,28 @@ An entry fails the gate when its measurement exceeds
 from flapping on noisy runners, and a per-entry `max_factor` documents the
 known-noisy cases without loosening the whole gate. Measurements missing
 from the baseline fail the gate so the baseline stays in sync with the
-suite; regenerate with --update (per-entry factors are preserved) and
-review the diff like any other code change.
+suite; regenerate with --update (per-entry factors are preserved, stale
+entries are KEPT unless you also pass --prune) and review the diff like any
+other code change.
+
+A baseline may additionally gate RATIOS between two measurements of the
+same run — machine-independent speedup contracts that survive runner churn
+where absolute numbers cannot:
+
+    "ratios": {
+      "counter 1t speedup": {
+        "numerator": "BM_ErosionStepFork",      // the slow side
+        "denominator": "BM_ErosionStepCounter/1",
+        "min_ratio": 1.5,                       // gate: num/den >= this
+        "min_cpus": 8                           // optional hardware guard
+      }
+    }
+
+A ratio whose benchmarks did not run fails the gate (same staleness rule as
+entries). `min_cpus` skips the ratio — with a printed notice — when the
+results report fewer CPUs (google-benchmark's context.num_cpus) or when the
+CPU count is unknown (JUnit results): thread-scaling contracts are only
+meaningful on machines that can physically exhibit them.
 """
 
 import json
@@ -44,17 +64,23 @@ UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load_junit(path):
-    """name -> wall-clock seconds per testcase."""
+    """(name -> wall-clock seconds per testcase, num_cpus=None)."""
     measured = {}
     for case in ET.parse(path).getroot().iter("testcase"):
         name = case.get("name", "")
         if name:
             measured[name] = float(case.get("time", "0"))
-    return measured
+    return measured, None
 
 
 def load_benchmark_json(path):
-    """name -> cpu_time in ns, plain iteration runs only (no aggregates)."""
+    """(name -> time in ns for plain iteration runs, context num_cpus).
+
+    Benchmarks registered with UseRealTime() carry a "/real_time" name
+    suffix; for those the wall clock is the honest number (a pooled
+    benchmark's cpu_time only counts the dispatching thread). Everything
+    else gates on cpu_time as before.
+    """
     with open(path, encoding="utf-8") as f:
         results = json.load(f)
     measured = {}
@@ -62,8 +88,10 @@ def load_benchmark_json(path):
         if bench.get("run_type", "iteration") != "iteration":
             continue
         scale = UNIT_TO_NS[bench.get("time_unit", "ns")]
-        measured[bench["name"]] = float(bench["cpu_time"]) * scale
-    return measured
+        field = "real_time" if bench["name"].endswith("/real_time") else "cpu_time"
+        measured[bench["name"]] = float(bench[field]) * scale
+    num_cpus = results.get("context", {}).get("num_cpus")
+    return measured, int(num_cpus) if num_cpus is not None else None
 
 
 def entry_fields(entry, global_factor):
@@ -74,7 +102,7 @@ def entry_fields(entry, global_factor):
     return float(entry), global_factor
 
 
-def update_baseline(measured, baseline_path, unit):
+def update_baseline(measured, baseline_path, unit, prune):
     try:
         with open(baseline_path, encoding="utf-8") as f:
             baseline = json.load(f)
@@ -97,6 +125,17 @@ def update_baseline(measured, baseline_path, unit):
             entries[name] = {**old, "baseline": rounded}
         else:
             entries[name] = rounded
+    # Entries the results file no longer exercises. A partial run (-R filter,
+    # bench sharding) must not silently shrink the gate, so stale entries
+    # survive the update unless deletion is explicitly requested.
+    stale = sorted(set(old_entries) - set(entries))
+    if stale and prune:
+        print(f"removed {len(stale)} stale entries: {', '.join(stale)}")
+    elif stale:
+        for name in stale:
+            entries[name] = old_entries[name]
+        print(f"kept {len(stale)} stale entries (pass --prune to remove): "
+              f"{', '.join(stale)}")
     baseline["entries"] = entries
     with open(baseline_path, "w", encoding="utf-8") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)
@@ -105,26 +144,64 @@ def update_baseline(measured, baseline_path, unit):
     return 0
 
 
-USAGE = ("usage: perf_gate.py [--update] <results: junit .xml | "
+def check_ratios(ratios, measured, num_cpus, failures):
+    """Gate the baseline's `ratios` section; append failures in place."""
+    for label, spec in sorted(ratios.items()):
+        num, den = spec["numerator"], spec["denominator"]
+        min_ratio = float(spec["min_ratio"])
+        min_cpus = spec.get("min_cpus")
+        if min_cpus is not None and (num_cpus is None
+                                     or num_cpus < int(min_cpus)):
+            have = "unknown" if num_cpus is None else str(num_cpus)
+            print(f"  ratio {label}: skipped (needs >= {min_cpus} CPUs, "
+                  f"results report {have})")
+            continue
+        missing = [n for n in (num, den) if n not in measured]
+        if missing:
+            failures.append(f"ratio {label}: benchmark(s) "
+                            f"{', '.join(missing)} did not run")
+            continue
+        if measured[den] <= 0.0:
+            failures.append(f"ratio {label}: denominator {den} measured "
+                            "non-positive time")
+            continue
+        ratio = measured[num] / measured[den]
+        verdict = "ok" if ratio >= min_ratio else "REGRESSED"
+        print(f"  ratio {label}: {num}/{den} = {ratio:.2f} "
+              f"(min {min_ratio:g})  {verdict}")
+        if ratio < min_ratio:
+            failures.append(f"ratio {label}: {ratio:.2f} below required "
+                            f"{min_ratio:g} ({num} / {den})")
+
+
+USAGE = ("usage: perf_gate.py [--update [--prune]] <results: junit .xml | "
          "google-benchmark .json> <baseline .json>")
 
 
 def main() -> int:
-    # Strict option parsing: --update is the only option. Anything else
-    # that looks like a flag is a usage error (exit 2), never a file path —
-    # previously `perf_gate.py --updtae results.json baseline.json` fell
-    # through to open("--updtae") and died with a confusing FileNotFoundError
-    # while silently treating the baseline as the results file.
+    # Strict option parsing: --update/--prune are the only options. Anything
+    # else that looks like a flag is a usage error (exit 2), never a file
+    # path — previously `perf_gate.py --updtae results.json baseline.json`
+    # fell through to open("--updtae") and died with a confusing
+    # FileNotFoundError while silently treating the baseline as the results
+    # file.
     update = False
+    prune = False
     args = []
     for arg in sys.argv[1:]:
         if arg == "--update":
             update = True
+        elif arg == "--prune":
+            prune = True
         elif arg.startswith("-"):
             print(f"error: unknown option '{arg}'\n{USAGE}", file=sys.stderr)
             return 2
         else:
             args.append(arg)
+    if prune and not update:
+        print(f"error: --prune only makes sense with --update\n{USAGE}",
+              file=sys.stderr)
+        return 2
     if len(args) != 2:
         print(USAGE, file=sys.stderr)
         print(__doc__, file=sys.stderr)
@@ -132,16 +209,16 @@ def main() -> int:
     results_path, baseline_path = args
 
     if results_path.endswith(".xml"):
-        measured, unit = load_junit(results_path), "seconds"
+        (measured, num_cpus), unit = load_junit(results_path), "seconds"
     else:
-        measured, unit = load_benchmark_json(results_path), "ns"
+        (measured, num_cpus), unit = load_benchmark_json(results_path), "ns"
     if not measured:
         print(f"error: no measurements found in {results_path}",
               file=sys.stderr)
         return 2
 
     if update:
-        return update_baseline(measured, baseline_path, unit)
+        return update_baseline(measured, baseline_path, unit, prune)
 
     with open(baseline_path, encoding="utf-8") as f:
         baseline = json.load(f)
@@ -171,6 +248,8 @@ def main() -> int:
 
     for name in sorted(set(entries) - set(measured)):
         print(f"  note: baseline entry '{name}' did not run", file=sys.stderr)
+
+    check_ratios(baseline.get("ratios", {}), measured, num_cpus, failures)
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
