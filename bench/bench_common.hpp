@@ -22,6 +22,8 @@ using cli::dynamic_alpha_model_bound;
 using cli::dynamic_alpha_variants;
 using cli::erosion_median_over_seeds;
 using cli::gossip_latency_table;
+using cli::grid_decomposition_sweep;
+using cli::GridDecompRow;
 using cli::instance_family_stats;
 using cli::interval_quality_sweep;
 using cli::IntervalQualitySample;

@@ -93,6 +93,29 @@ std::string erosion_help() {
          "broadcast)\n"
          "                         or alltoall (O(ranks^2) reference)  "
          "[neighbor]\n"
+         "  --decomp <name>        decomposition of the distributed stepper "
+         "(--ranks):\n"
+         "                         stripes (1D column stripes) or grid (2D "
+         "tile grid\n"
+         "                         with edge+corner halos)  [stripes]\n"
+         "  --grid <RxC>           tile grid shape, e.g. 2x2; R*C must equal "
+         "--ranks\n"
+         "                         (--decomp grid)  [near-square "
+         "factorization]\n"
+         "  --tuner                rebalance grid boundaries with the damped "
+         "per-\n"
+         "                         dimension tuner instead of a fresh recut "
+         "(--decomp\n"
+         "                         grid)\n"
+         "  --tuner-cap <r>        max boundary movement per rebalance, as a "
+         "fraction\n"
+         "                         of the adjacent tile extent (--tuner)  "
+         "[0.05]\n"
+         "  --tuner-maxiter <int>  tuner refinement passes per rebalance "
+         "(--tuner) [8]\n"
+         "  --tuner-tol <r>        max/avg band imbalance the tuner accepts "
+         "as\n"
+         "                         balanced (--tuner)  [1.02]\n"
          "  --ns-scale <r>         burn steps per unit workload (--mt)   "
          "[4.0]\n"
          "  --migration-scale <r>  burn factor per migrated byte (--mt)  "
@@ -178,7 +201,7 @@ const std::vector<Subcommand>& registry() {
        quickstart_help},
       {"erosion",
        "the erosion application, standard vs. ULBA (--mt: real threads)",
-       {"mt"},
+       {"mt", "tuner"},
        run_erosion,
        erosion_help},
       {"intervals",

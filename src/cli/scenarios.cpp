@@ -13,6 +13,7 @@
 #include "core/schedule.hpp"
 #include "erosion/app.hpp"
 #include "erosion/threaded_app.hpp"
+#include "lb/grid.hpp"
 #include "lb/partitioners.hpp"
 #include "opt/dp_optimal.hpp"
 #include "support/histogram.hpp"
@@ -157,7 +158,8 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   flags.require_known({"mt", "pes", "strong", "seed", "iterations", "alpha",
                        "columns-per-pe", "rows", "rock-radius", "threads",
                        "shards", "ranks", "partitioner", "exchange",
-                       "ns-scale", "migration-scale", "rng"});
+                       "ns-scale", "migration-scale", "rng", "decomp", "grid",
+                       "tuner", "tuner-cap", "tuner-maxiter", "tuner-tol"});
   const bool mt = flags.has("mt");
   const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
   const std::int64_t strong = flags.get_int("strong", 1);
@@ -172,6 +174,8 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
       erosion::rng_kind_from_name(flags.get_string("rng", "fork"));
   const double ns_scale = flags.get_double("ns-scale", 4.0);
   const double migration_scale = flags.get_double("migration-scale", 8.0);
+  const std::string decomp = flags.get_string("decomp", "stripes");
+  const bool tuner = flags.has("tuner");
   ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
   ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
                "--strong must be in [1, pes]");
@@ -207,6 +211,31 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
                "--rng selects the virtual-time dynamics stream; the legacy "
                "--mt thread app has its own stepper (combine --mt with "
                "--ranks for the measured-time distributed mode)");
+  ULBA_REQUIRE(decomp == "stripes" || decomp == "grid",
+               "--decomp must be 'stripes' or 'grid'");
+  ULBA_REQUIRE(decomp == "stripes" || ranks > 1,
+               "--decomp grid runs over the SPMD runtime; pass --ranks");
+  ULBA_REQUIRE(decomp == "grid" || !flags.has("grid"),
+               "--grid shapes the 2D tile decomposition; pass --decomp grid");
+  ULBA_REQUIRE(decomp == "grid" ||
+                   (!tuner && !flags.has("tuner-cap") &&
+                    !flags.has("tuner-maxiter") && !flags.has("tuner-tol")),
+               "--tuner and its knobs drive the grid decomposition's damped "
+               "rebalancing; pass --decomp grid");
+  ULBA_REQUIRE(tuner || (!flags.has("tuner-cap") &&
+                         !flags.has("tuner-maxiter") &&
+                         !flags.has("tuner-tol")),
+               "--tuner-cap/--tuner-maxiter/--tuner-tol calibrate the "
+               "boundary tuner; pass --tuner");
+  std::int64_t grid_rows = 0, grid_cols = 0;
+  if (flags.has("grid")) {
+    // Non-factorable shapes (rows * cols != ranks) are rejected by
+    // AppConfig::validate via lb::resolve_grid_shape below.
+    const lb::GridShape shape =
+        lb::parse_grid_shape(flags.get_string("grid", ""));
+    grid_rows = shape.rows;
+    grid_cols = shape.cols;
+  }
 
   if (mt && ranks == 1) {
     erosion::ThreadedConfig cfg;
@@ -271,6 +300,13 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   cfg.ns_scale = ns_scale;
   cfg.migration_scale = migration_scale;
   cfg.rng_kind = rng_kind;
+  cfg.decomp = decomp;
+  cfg.grid_rows = grid_rows;
+  cfg.grid_cols = grid_cols;
+  cfg.tuner = tuner;
+  cfg.tuner_cap = flags.get_double("tuner-cap", 0.05);
+  cfg.tuner_maxiter = flags.get_int("tuner-maxiter", 8);
+  cfg.tuner_tol = flags.get_double("tuner-tol", 1.02);
   cfg.validate();
 
   out << "Erosion demo: " << cfg.pe_count << " PEs, "
@@ -287,12 +323,25 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
     out << "(sharded stepping: " << cfg.shards << " shards cut by "
         << cfg.partitioner
         << "; trajectory bit-identical to the unsharded serial run)\n";
-  if (cfg.ranks > 1)
+  if (cfg.ranks > 1 && cfg.decomp == "grid") {
+    const lb::GridShape shape =
+        lb::resolve_grid_shape(cfg.ranks, cfg.grid_rows, cfg.grid_cols);
+    out << "(distributed stepping: " << cfg.ranks << " SPMD ranks, "
+        << shape.rows << "x" << shape.cols << " tile grid cut by "
+        << cfg.partitioner << ", " << cfg.exchange
+        << " step exchange, 2D edge+corner halos; trajectory bit-identical "
+           "to the serial run)\n";
+    if (cfg.tuner)
+      out << "(damped boundary tuner: cap " << cfg.tuner_cap << ", max "
+          << cfg.tuner_maxiter << " passes per rebalance, tolerance "
+          << cfg.tuner_tol << ")\n";
+  } else if (cfg.ranks > 1) {
     out << "(distributed stepping: " << cfg.ranks
         << " SPMD ranks, stripes cut by " << cfg.partitioner << ", "
         << cfg.exchange
         << " step exchange, real halo/migration messages; trajectory "
            "bit-identical to the serial run)\n";
+  }
   if (cfg.measure_time)
     out << "(measured time: each rank burns real CPU, ns_scale "
         << cfg.ns_scale << ", migration_scale " << cfg.migration_scale
@@ -342,6 +391,14 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
         << std_run.rank_step_bytes / 1e6 << " MB\n"
         << "  ULBA     : " << ulba_run.rank_step_messages << " messages, "
         << ulba_run.rank_step_bytes / 1e6 << " MB\n\n";
+    if (cfg.decomp == "grid") {
+      out << "grid decomposition (final (max-avg)/avg rank imbalance; tuner "
+             "passes):\n"
+          << "  standard : " << std_run.rank_fractional_imbalance << ", "
+          << std_run.grid_tuner_iterations << " tuner pass(es)\n"
+          << "  ULBA     : " << ulba_run.rank_fractional_imbalance << ", "
+          << ulba_run.grid_tuner_iterations << " tuner pass(es)\n\n";
+    }
   }
 
   if (cfg.measure_time) {

@@ -11,6 +11,7 @@
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
 #include "erosion/domain.hpp"
+#include "lb/grid.hpp"
 #include "lb/partitioners.hpp"
 #include "opt/annealing.hpp"
 #include "opt/dp_alpha.hpp"
@@ -425,6 +426,74 @@ std::vector<DistributedScalingRow> distributed_erosion_scaling(
         rows.push_back(std::move(row));
       }
     }
+  }
+  return rows;
+}
+
+std::vector<GridDecompRow> grid_decomposition_sweep(
+    std::int64_t ranks, std::int64_t pe_count, std::int64_t strong_rocks,
+    std::uint64_t seed, std::int64_t iterations) {
+  ULBA_REQUIRE(ranks > 1, "grid sweep needs more than one rank");
+  const lb::GridShape shape = lb::resolve_grid_shape(ranks, 0, 0);
+  const std::string shape_label =
+      std::to_string(shape.rows) + "x" + std::to_string(shape.cols);
+
+  erosion::AppConfig base = scaled_app_config(
+      pe_count, strong_rocks, erosion::Method::kUlba, seed);
+  if (iterations > 0) base.iterations = iterations;
+  base.rng_kind = erosion::RngKind::kCounter;
+  // A handful of rebalances over the run, so the damped tuner gets enough
+  // steps to walk the boundaries toward balance within its per-step cap.
+  base.lb_period = std::max<std::int64_t>(1, base.iterations / 6);
+
+  // The trigger schedule shapes the trajectory, so each policy compares
+  // against a ranks = 1 reference with the same schedule (the tuner only
+  // moves grid boundaries — it shares the periodic reference).
+  erosion::AppConfig static_ref_cfg = base;
+  static_ref_cfg.trigger_mode = erosion::TriggerMode::kNever;
+  const erosion::RunResult static_ref =
+      erosion::ErosionApp(static_ref_cfg).run();
+  erosion::AppConfig periodic_ref_cfg = base;
+  periodic_ref_cfg.trigger_mode = erosion::TriggerMode::kPeriodic;
+  const erosion::RunResult periodic_ref =
+      erosion::ErosionApp(periodic_ref_cfg).run();
+
+  struct Cell {
+    const char* decomp;
+    const char* policy;
+    erosion::TriggerMode trigger;
+    bool tuner;
+  };
+  const Cell cells[] = {
+      {"stripes", "static", erosion::TriggerMode::kNever, false},
+      {"stripes", "recut", erosion::TriggerMode::kPeriodic, false},
+      {"grid", "static", erosion::TriggerMode::kNever, false},
+      {"grid", "recut", erosion::TriggerMode::kPeriodic, false},
+      {"grid", "tuner", erosion::TriggerMode::kPeriodic, true},
+  };
+
+  std::vector<GridDecompRow> rows;
+  for (const Cell& cell : cells) {
+    erosion::AppConfig cfg = base;
+    cfg.ranks = ranks;
+    cfg.decomp = cell.decomp;
+    cfg.trigger_mode = cell.trigger;
+    cfg.tuner = cell.tuner;
+    const erosion::RunResult run = erosion::ErosionApp(cfg).run();
+    const erosion::RunResult& reference =
+        cell.trigger == erosion::TriggerMode::kNever ? static_ref
+                                                     : periodic_ref;
+    GridDecompRow row;
+    row.decomp = cell.decomp;
+    row.policy = cell.policy;
+    row.shape = cfg.decomp == "grid" ? shape_label : "-";
+    row.ranks = ranks;
+    row.imbalance = run.rank_fractional_imbalance;
+    row.tuner_iterations = run.grid_tuner_iterations;
+    row.lb_count = run.lb_count;
+    row.discs_moved = run.rank_discs_moved;
+    row.matches_serial = run_results_bit_equal(run, reference) ? 1 : 0;
+    rows.push_back(std::move(row));
   }
   return rows;
 }

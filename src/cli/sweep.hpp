@@ -246,4 +246,38 @@ struct DistributedScalingRow {
     std::span<const std::string> exchanges, std::int64_t pe_count,
     std::int64_t strong_rocks, std::uint64_t seed, std::int64_t iterations);
 
+// ---------------------------------------------------------------------------
+// Grid-decomposition sweep (bench_distributed_erosion; `erosion --decomp
+// grid` drives the same ErosionApp implementation)
+// ---------------------------------------------------------------------------
+
+/// One (decomposition, rebalance policy) cell of the grid-decomposition
+/// sweep: 1D stripes vs. the 2D tile grid, each static and periodically
+/// rebalanced, plus the grid with the damped boundary tuner.
+struct GridDecompRow {
+  std::string decomp;   ///< "stripes" | "grid"
+  std::string policy;   ///< "static" | "recut" | "tuner"
+  std::string shape;    ///< resolved "RxC" tile grid ("-" for stripes)
+  std::int64_t ranks = 0;
+  /// Final (max − avg)/avg per-rank weight imbalance after the run — the
+  /// number the damped tuner is supposed to push down vs. the static grid.
+  double imbalance = 0.0;
+  std::int64_t tuner_iterations = 0;  ///< tuner passes summed over LB steps
+  std::int64_t lb_count = 0;
+  std::int64_t discs_moved = 0;  ///< rank-ownership migrations, all LB steps
+  /// 1 when every trajectory-facing RunResult field is bit-identical to a
+  /// ranks = 1 run with the same trigger schedule — the per-decomposition
+  /// determinism contract (counter RNG).
+  std::uint8_t matches_serial = 0;
+};
+
+/// Run the scaled erosion app at `ranks` SPMD ranks under {stripes, grid} ×
+/// {static, periodic recut} plus grid + damped tuner, counter RNG, and
+/// compare each trajectory bit-for-bit against the matching ranks = 1
+/// reference. `ranks` must be 2D-factorable (e.g. 4 → 2×2). Runs
+/// sequentially (each cell already spawns `ranks` SPMD threads).
+[[nodiscard]] std::vector<GridDecompRow> grid_decomposition_sweep(
+    std::int64_t ranks, std::int64_t pe_count, std::int64_t strong_rocks,
+    std::uint64_t seed, std::int64_t iterations);
+
 }  // namespace ulba::cli

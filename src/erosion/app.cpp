@@ -230,7 +230,7 @@ class LbController {
         balance_now = trigger_.should_balance(threshold);
         break;
       case TriggerMode::kPeriodic:
-        balance_now = (iter + 1) % config_.lb_period == 0;
+        balance_now = (iter + 1) % config_.lb_period == config_.lb_phase;
         break;
       case TriggerMode::kNever:
         balance_now = false;
@@ -417,8 +417,20 @@ RunResult run_distributed(const AppConfig& config,
       R, [&](runtime::Comm& comm) {
         const std::shared_ptr<const lb::Partitioner> partitioner(
             lb::make_partitioner(config.partitioner));
-        DistributedDomain domain(domain_config, comm, partitioner,
-                                 exchange_mode_from_name(config.exchange));
+        const ExchangeMode exchange =
+            exchange_mode_from_name(config.exchange);
+        GridOptions grid;
+        grid.grid_rows = config.grid_rows;
+        grid.grid_cols = config.grid_cols;
+        grid.tuner = config.tuner;
+        grid.tuner_config = {config.tuner_cap, config.tuner_maxiter,
+                             config.tuner_tol};
+        DistributedDomain domain =
+            config.decomp == "grid"
+                ? DistributedDomain(domain_config, comm, partitioner,
+                                    exchange, grid)
+                : DistributedDomain(domain_config, comm, partitioner,
+                                    exchange);
         // Both RNG kinds key the dynamics off the same forked sub-seed, so
         // neither can collide with the placement/gossip streams.
         support::Rng dynamics_rng = support::Rng(config.seed).fork(1);
@@ -519,12 +531,20 @@ RunResult run_distributed(const AppConfig& config,
                   reshard.predicted.total_bytes;
               ctl->result().rank_observed_bytes +=
                   reshard.observed_payload_bytes;
+              if (reshard.tuner_ran)
+                ctl->result().grid_tuner_iterations +=
+                    reshard.tuned_cols.iterations +
+                    reshard.tuned_rows.iterations;
             }
           }
           if (main) ctl->end_iteration();
         }
         const std::vector<double> final_weights =
             domain.gather_column_weights(0);
+        // Collective: the decomposition-level (per-RANK) imbalance of the
+        // final cut — distinct from RunResult::final_imbalance, which rates
+        // the controller's PE stripes.
+        const double fractional = domain.fractional_load_imbalance();
         const auto step_messages = comm.allreduce(
             static_cast<std::int64_t>(domain.step_messages_sent()));
         const auto step_bytes = comm.allreduce(
@@ -533,6 +553,7 @@ RunResult run_distributed(const AppConfig& config,
           result = ctl->take_result(final_weights, domain.eroded_cells());
           result.rank_step_messages = step_messages;
           result.rank_step_bytes = step_bytes;
+          result.rank_fractional_imbalance = fractional;
           if (mt) {
             measured.wall_seconds = seconds_since(run0);
             measured.utilization =
@@ -568,6 +589,8 @@ void AppConfig::validate() const {
   ULBA_REQUIRE(wir_smoothing > 0.0 && wir_smoothing <= 1.0,
                "WIR smoothing factor must lie in (0, 1]");
   ULBA_REQUIRE(lb_period >= 1, "LB period must be at least one iteration");
+  ULBA_REQUIRE(lb_phase >= 0 && lb_phase < lb_period,
+               "LB phase must lie in [0, lb_period)");
   ULBA_REQUIRE(threads >= 1, "need at least one stepping thread");
   ULBA_REQUIRE(shards >= 1 && shards <= pe_count,
                "shard count must lie in [1, pe_count]");
@@ -580,6 +603,20 @@ void AppConfig::validate() const {
                "measured-time mode runs on the SPMD runtime (ranks > 1)");
   ULBA_REQUIRE(ns_scale > 0.0 && migration_scale >= 0.0,
                "ns_scale must be positive and migration_scale nonnegative");
+  ULBA_REQUIRE(decomp == "stripes" || decomp == "grid",
+               "unknown decomposition (accepted: stripes, grid)");
+  ULBA_REQUIRE(decomp == "stripes" || ranks > 1,
+               "the grid decomposition runs on the SPMD runtime (ranks > 1)");
+  ULBA_REQUIRE(decomp == "grid" || (grid_rows == 0 && grid_cols == 0),
+               "a grid shape is only meaningful with the grid decomposition");
+  ULBA_REQUIRE(!tuner || decomp == "grid",
+               "the boundary tuner requires the grid decomposition");
+  ULBA_REQUIRE(tuner_cap > 0.0 && tuner_cap <= 0.5,
+               "tuner cap must lie in (0, 0.5]");
+  ULBA_REQUIRE(tuner_maxiter >= 1, "tuner needs at least one iteration");
+  ULBA_REQUIRE(tuner_tol >= 1.0, "tuner tolerance must be >= 1");
+  if (decomp == "grid")  // throws on non-factorable shape requests
+    (void)lb::resolve_grid_shape(ranks, grid_rows, grid_cols);
   (void)lb::make_partitioner(partitioner);  // throws on unknown names
   (void)exchange_mode_from_name(exchange);  // throws on unknown names
   comm.validate();

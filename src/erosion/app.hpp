@@ -156,6 +156,33 @@ struct AppConfig {
   /// either way; only the message count differs.
   std::string exchange = "neighbor";
 
+  /// Decomposition of the distributed stepper (ranks > 1): "stripes" — the
+  /// default 1D contiguous column stripes — or "grid", the 2D rows x
+  /// columns tile decomposition (erosion::GridOptions): each rank owns one
+  /// rectangular tile plus the discs centered in it, and halo deltas flow
+  /// to edge AND corner neighbor tiles. The gathered monitoring weights of
+  /// a grid run come from a rank-0 monitor fed by integer deltas, so the
+  /// whole RunResult trajectory stays bit-identical to the serial run for
+  /// both RNG kinds and every grid shape.
+  std::string decomp = "stripes";
+  /// Grid shape request (decomp == "grid"): 0 = derive that dimension
+  /// (both 0 = near-square factorization of `ranks`). A non-factorable
+  /// request (grid_rows * grid_cols != ranks) is rejected, never adjusted.
+  std::int64_t grid_rows = 0;
+  std::int64_t grid_cols = 0;
+  /// Grid mode: rebalance by nudging the existing row/column boundaries
+  /// with the damped per-dimension tuner (hoomd-blue LoadBalancer style —
+  /// inverse-imbalance rescale, movement capped at `tuner_cap` of the
+  /// adjacent tile extent per rebalance, at most `tuner_maxiter` refinement
+  /// passes, no-op within `tuner_tol`) instead of a fresh partitioner recut.
+  bool tuner = false;
+  double tuner_cap = 0.05;
+  std::int64_t tuner_maxiter = 8;
+  double tuner_tol = 1.02;
+  /// Phase of the periodic trigger: balance when (iter + 1) % lb_period ==
+  /// lb_phase. 0 keeps the historical cadence.
+  std::int64_t lb_phase = 0;
+
   /// Measured-time distributed mode (requires ranks > 1): every rank
   /// additionally burns real CPU proportional to its stripe's workload each
   /// iteration (support::burn at `ns_scale`) and to its migration payload
@@ -254,6 +281,14 @@ struct RunResult {
   /// the "neighbor" and "alltoall" exchange modes are compared on.
   std::int64_t rank_step_messages = 0;
   double rank_step_bytes = 0.0;
+  /// Distributed stepping only: the HemoCell-style fractional load
+  /// imbalance (max rank load − avg)/avg of the FINAL decomposition, over
+  /// per-rank sums of the local (stripe or tile-partial) weights — the
+  /// number the damped grid tuner drives down. 0 when perfectly balanced.
+  double rank_fractional_imbalance = 0.0;
+  /// Grid decomposition with the tuner only: Σ tuner refinement passes over
+  /// all rebalances (both dimensions).
+  std::int64_t grid_tuner_iterations = 0;
   /// Measured-time distributed mode only (AppConfig::measure_time).
   MeasuredTimes measured;
 };

@@ -12,6 +12,10 @@ std::pair<std::int64_t, std::int64_t> disc_column_span(const RockDisc& disc) {
   return {disc.cx - disc.radius, disc.cx + disc.radius + 1};
 }
 
+std::pair<std::int64_t, std::int64_t> disc_row_span(const RockDisc& disc) {
+  return {disc.cy - disc.radius, disc.cy + disc.radius + 1};
+}
+
 DiscState build_disc_state(const RockDisc& disc) {
   DiscState d;
   d.side = 2 * disc.radius + 1;

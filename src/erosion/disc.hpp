@@ -67,6 +67,13 @@ struct DiscState {
 [[nodiscard]] std::pair<std::int64_t, std::int64_t> disc_column_span(
     const RockDisc& disc);
 
+/// Half-open row interval [first, last) of the disc's bounding box — the
+/// row-dimension twin of disc_column_span, which a 2D grid decomposition
+/// needs to derive the full (edge + corner) halo-neighbor tile rectangle
+/// from replicated metadata.
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> disc_row_span(
+    const RockDisc& disc);
+
 /// Phase 1 — decide which frontier cells erode, against the pre-step state.
 /// Consumes EXACTLY frontier.size() Bernoulli draws from `rng` (every
 /// frontier cell has at least one fluid face), independent of the outcomes —

@@ -39,6 +39,7 @@
 #include "erosion/counter_kernel.hpp"
 #include "erosion/disc.hpp"
 #include "erosion/domain.hpp"
+#include "lb/grid.hpp"
 #include "lb/migration.hpp"
 #include "lb/partitioners.hpp"
 #include "lb/stripe_partitioner.hpp"
@@ -71,9 +72,36 @@ enum class ExchangeMode {
 [[nodiscard]] ExchangeMode exchange_mode_from_name(const std::string& name);
 [[nodiscard]] std::string exchange_mode_name(ExchangeMode mode);
 
+/// The 2D (rows x columns) decomposition request of a DistributedDomain —
+/// the alternative to the default 1D column stripes. Every rank owns one
+/// rectangular tile of the cell grid (row-major rank -> tile map) plus the
+/// discs whose centers fall inside it; halo deltas flow to the 2D (edge AND
+/// corner) neighbor tiles through the same exchange machinery as stripes.
+///
+/// Determinism: the LB-facing column weights of a grid run come from a
+/// rank-0 monitor fed by integer eroded-cell deltas, folded one constant
+/// increment per cell — bit-identical to the serial incremental weights for
+/// ANY tile shape, which is what keeps the whole RunResult trajectory
+/// serial-identical in 2D for both RNG kinds. A 1-row grid with the tuner
+/// off is not merely equivalent to stripes: it runs the stripe code path,
+/// so "1xC == 1D stripes" holds by code identity.
+struct GridOptions {
+  std::int64_t grid_rows = 0;  ///< 0 = derive (near-square factorization)
+  std::int64_t grid_cols = 0;  ///< 0 = derive from grid_rows
+  /// Rebalance boundaries with the damped per-dimension tuner instead of a
+  /// fresh partitioner recut: each rebalance rescales row/column boundaries
+  /// by inverse band imbalance, capped at tuner_config.cap of the adjacent
+  /// tile extent per rebalance (hoomd-blue LoadBalancer style).
+  bool tuner = false;
+  lb::GridTunerConfig tuner_config;
+};
+
 /// Outcome of one distributed rebalance (identical on every rank).
 struct DistributedReshardResult {
-  lb::StripeBoundaries boundaries;  ///< the new rank → column-range map
+  /// The new rank → column-range map (grid mode: the new COLUMN-band bounds,
+  /// size grid_cols()+1 — the row bounds travel in `tuned_rows` or through
+  /// DistributedDomain::grid_row_bounds()).
+  lb::StripeBoundaries boundaries;
   std::int64_t discs_moved = 0;     ///< discs that changed rank ownership
   /// The analytic Eq.-C accounting: what migrating from the old to the new
   /// stripes costs given the per-column data sizes (the same model the
@@ -93,6 +121,12 @@ struct DistributedReshardResult {
   /// This rank's own share of that payload (sent + received, NOT reduced) —
   /// what a measured-time driver charges its local migration burn against.
   double my_payload_bytes = 0.0;
+  /// Grid mode with the tuner enabled: the per-dimension tuner outcomes of
+  /// this rebalance (iterations used, band imbalance before/after per
+  /// dimension). Default-constructed otherwise.
+  bool tuner_ran = false;
+  lb::TuneOutcome tuned_cols;
+  lb::TuneOutcome tuned_rows;
 };
 
 /// The rank-local final report every rank replicates (bit-identical to the
@@ -113,6 +147,15 @@ class DistributedDomain {
   DistributedDomain(DomainConfig config, runtime::Comm& comm,
                     std::shared_ptr<const lb::Partitioner> partitioner,
                     ExchangeMode exchange = ExchangeMode::kNeighbor);
+
+  /// Collective: the 2D grid decomposition — every rank owns one
+  /// rectangular tile (see GridOptions). The initial bounds cut each
+  /// dimension's marginal of the initial weights with `partitioner` (even
+  /// targets). A grid_rows == 1 request without the tuner delegates to the
+  /// stripe construction above, byte for byte.
+  DistributedDomain(DomainConfig config, runtime::Comm& comm,
+                    std::shared_ptr<const lb::Partitioner> partitioner,
+                    ExchangeMode exchange, const GridOptions& grid);
 
   /// Collective: one erosion iteration (local discs stepped serially).
   /// Returns the GLOBAL eroded-cell count — the value the serial
@@ -158,8 +201,27 @@ class DistributedDomain {
   [[nodiscard]] int ranks() const noexcept { return comm_->size(); }
 
   /// Current rank → column-range boundaries (size ranks + 1, replicated).
+  /// Stripe mode only — empty under a 2D grid decomposition, whose tiles
+  /// are published through grid_row_bounds()/grid_col_bounds().
   [[nodiscard]] const lb::StripeBoundaries& rank_boundaries() const noexcept {
     return boundaries_;
+  }
+  /// True when this domain runs the 2D tile decomposition (a GridOptions
+  /// construction with more than one tile row, or with the tuner on).
+  [[nodiscard]] bool grid_mode() const noexcept { return grid_; }
+  [[nodiscard]] std::int64_t grid_rows() const noexcept { return tile_rows_; }
+  [[nodiscard]] std::int64_t grid_cols() const noexcept { return tile_cols_; }
+  /// Grid mode: the row/column boundaries of the tile grid (sizes
+  /// grid_rows()+1 / grid_cols()+1, replicated). Rank ri*grid_cols()+ci owns
+  /// rows [row_bounds[ri], row_bounds[ri+1]) x columns [col_bounds[ci],
+  /// col_bounds[ci+1]). Empty in stripe mode.
+  [[nodiscard]] const std::vector<std::int64_t>& grid_row_bounds()
+      const noexcept {
+    return row_bounds_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& grid_col_bounds()
+      const noexcept {
+    return col_bounds_;
   }
   [[nodiscard]] ExchangeMode exchange_mode() const noexcept {
     return exchange_;
@@ -190,16 +252,30 @@ class DistributedDomain {
   }
   /// The rank owning disc `disc` (replicated knowledge).
   [[nodiscard]] int owner_of_disc(std::size_t disc) const;
-  /// The rank owning column `x`.
+  /// The rank owning column `x` (stripe mode only — a grid tile owns column
+  /// SEGMENTS, so whole-column ownership is undefined there).
   [[nodiscard]] int owner_of_column(std::int64_t x) const;
+  /// The rank owning cell (x, y) under the current decomposition (both
+  /// modes; stripe mode ignores y beyond a range check).
+  [[nodiscard]] int owner_of_cell(std::int64_t x, std::int64_t y) const;
 
   /// This rank's column weights, spanning [first_column, first_column + n).
+  /// In grid mode these are PARTIAL column weights — each entry sums only
+  /// the tile's own rows — deterministic across exchange modes and pools,
+  /// but not the serial full-column values (those live in the rank-0
+  /// monitor that gather_column_weights() serves).
   [[nodiscard]] std::span<const double> local_column_weights() const noexcept {
     return weights_;
   }
   [[nodiscard]] std::int64_t first_column() const noexcept {
-    return boundaries_[static_cast<std::size_t>(rank())];
+    return my_col0_;
   }
+
+  /// Collective: the HemoCell-style fractional load imbalance of the
+  /// current decomposition, (max rank load − avg)/avg over the per-rank
+  /// sums of local_column_weights(). Identical on every rank; 0 when
+  /// perfectly balanced. The number the damped grid tuner drives down.
+  [[nodiscard]] double fractional_load_imbalance() const;
 
   /// Replicated global counters — all bit-identical to the serial domain.
   [[nodiscard]] double total_workload() const noexcept { return total_; }
@@ -221,7 +297,9 @@ class DistributedDomain {
   /// Collective: reassemble the full-width column weights at `root` (every
   /// rank must call; non-roots return {}). This is the real-message
   /// counterpart of ErosionDomain::column_weights() for the monitoring and
-  /// LB layers.
+  /// LB layers. Stripe mode concatenates the per-rank stripes; grid mode
+  /// drains the pending integer deltas into the rank-0 monitor and serves
+  /// that — bit-identical to the serial incremental weights either way.
   [[nodiscard]] std::vector<double> gather_column_weights(int root) const;
 
   /// Collective: reassemble the full-width column weights on EVERY rank
@@ -229,17 +307,46 @@ class DistributedDomain {
   [[nodiscard]] std::vector<double> allgather_column_weights() const;
 
  private:
-  /// Recompute disc_owner_/local ids from boundaries_ (disc → stripe holding
-  /// its center column). `keep` holds the still-local DiscStates by global
-  /// id, already including received hand-offs.
+  /// Shared ctor body: replay the serial builder's weight accounting over a
+  /// transient full-width view (one DiscState alive at a time), filling the
+  /// frontier metadata, the rock census, and Wtot, and producing the initial
+  /// column weights plus their row marginal. Every rank derives identical
+  /// values without ever holding the whole domain.
+  void replay_initial_weights(std::vector<double>& full_cols,
+                              std::vector<double>& full_rows);
+  /// The stripe construction body (also the 1-row-grid-no-tuner path).
+  void init_stripes();
+  /// The 2D tile construction body (tile_rows_/tile_cols_ already set).
+  void init_grid();
+  /// Recompute disc_owner_/local ids from the current decomposition (disc →
+  /// rank whose stripe/tile holds its center cell). `keep` holds the
+  /// still-local DiscStates by global id, already including received
+  /// hand-offs.
   void assign_local_discs();
-  /// Recompute send/recv halo-neighbor sets from boundaries_ + disc_owner_
-  /// + the disc bounding boxes (all replicated) — must follow every
-  /// boundary or ownership change.
+  /// Recompute send/recv halo-neighbor sets from the decomposition +
+  /// disc_owner_ + the disc bounding boxes (all replicated) — must follow
+  /// every boundary or ownership change. In grid mode a disc's box covers a
+  /// RECTANGLE of tiles, so the sets include corner neighbors.
   void recompute_neighbors();
-  /// Apply `count` eroded cells to column `x` of my stripe, one cell at a
-  /// time (the serial commit's per-cell accounting, so FP results agree).
+  /// Apply `count` eroded cells to column `x` of my stripe/tile, one cell
+  /// at a time (the serial commit's per-cell accounting, so FP results
+  /// agree).
   void credit_column(std::int64_t x, std::int64_t count);
+  /// Grid mode: the tile index along each dimension owning a coordinate.
+  [[nodiscard]] int col_band_of(std::int64_t x) const;
+  [[nodiscard]] int row_band_of(std::int64_t y) const;
+  /// Grid mode: rebuild this rank's partial column weights analytically
+  /// from integer cell counts — background minus the static disc footprints
+  /// intersecting the tile, plus one refinement gain per refined cell
+  /// (`refined_per_column`, tile-local, empty = all zero). One FP
+  /// expression of exact integers, so every rank derives identical values.
+  void rebuild_tile_weights(std::span<const std::int64_t> refined_per_column);
+  /// Grid mode, collective: flush every rank's pending integer eroded-cell
+  /// deltas into the rank-0 column/row monitors (constant increments — fold
+  /// order cannot matter, rank order keeps it canonical).
+  void drain_pending_deltas() const;
+  /// Grid-mode rebalance body (dispatched from rebalance(full)).
+  DistributedReshardResult rebalance_grid(std::span<const double> full);
   /// The stepper tail every RNG kind shares — commit my columns, bucket and
   /// exchange halo deltas + frontier metadata + the eroded reduction, fold
   /// the replicated global accounting. `erode[k]` holds the cells the k-th
@@ -266,8 +373,30 @@ class DistributedDomain {
   std::vector<int> disc_owner_;              ///< replicated, per global disc
   std::vector<std::int64_t> frontier_sizes_; ///< replicated, per global disc
 
-  std::vector<double> weights_;  ///< my stripe only
+  std::vector<double> weights_;  ///< my stripe (or tile-partial) columns
+  std::int64_t my_col0_ = 0;     ///< first column of my stripe/tile
   double total_ = 0.0;           ///< replicated global Wtot
+
+  // ---- grid decomposition state (grid_ == true only) ---------------------
+  bool grid_ = false;
+  std::int64_t tile_rows_ = 1;  ///< grid shape: tile rows (R_t)
+  std::int64_t tile_cols_ = 1;  ///< grid shape: tile columns (C_t)
+  bool tuner_on_ = false;
+  lb::GridTunerConfig tuner_cfg_;
+  std::vector<std::int64_t> row_bounds_;  ///< size tile_rows_ + 1, replicated
+  std::vector<std::int64_t> col_bounds_;  ///< size tile_cols_ + 1, replicated
+  /// Rank-0 full-width monitors, bit-identical to the serial domain's
+  /// incremental column weights (and their row marginal): seeded from the
+  /// constructor replay and advanced one constant increment per eroded cell
+  /// when the pending deltas drain at gather time. Mutable because the
+  /// gather collective is logically const (it only OBSERVES the dynamics).
+  mutable std::vector<double> monitor_cols_;
+  mutable std::vector<double> monitor_rows_;
+  /// Integer eroded-cell counts per column/row recorded by the DISC OWNER
+  /// since the last drain (each eroded cell counted exactly once globally).
+  mutable std::vector<std::int64_t> pending_cols_;
+  mutable std::vector<std::int64_t> pending_rows_;
+
   std::int64_t rock_remaining_ = 0;
   std::int64_t eroded_ = 0;
   CounterWorkspace counter_ws_;  ///< step_counter's reusable flat buffers

@@ -1,0 +1,194 @@
+#include "lb/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/require.hpp"
+
+namespace ulba::lb {
+
+GridShape near_square_grid(std::int64_t ranks) {
+  ULBA_REQUIRE(ranks >= 1, "grid factorization needs at least one rank");
+  GridShape shape{1, ranks};
+  for (std::int64_t d = 1; d * d <= ranks; ++d)
+    if (ranks % d == 0) shape = {d, ranks / d};
+  return shape;
+}
+
+GridShape resolve_grid_shape(std::int64_t ranks, std::int64_t rows,
+                             std::int64_t cols) {
+  ULBA_REQUIRE(ranks >= 1, "grid resolution needs at least one rank");
+  if (rows < 0 || cols < 0)
+    throw std::invalid_argument("grid dimensions must be nonnegative");
+  if (rows == 0 && cols == 0) return near_square_grid(ranks);
+  if (rows == 0) rows = (cols > 0 && ranks % cols == 0) ? ranks / cols : -1;
+  if (cols == 0) cols = (rows > 0 && ranks % rows == 0) ? ranks / rows : -1;
+  if (rows < 1 || cols < 1 || rows * cols != ranks)
+    throw std::invalid_argument(
+        "grid shape does not factor the rank count (rows x cols must equal "
+        "ranks)");
+  return {rows, cols};
+}
+
+GridShape parse_grid_shape(const std::string& text) {
+  const auto x = text.find('x');
+  if (x == std::string::npos || x == 0 || x + 1 >= text.size())
+    throw std::invalid_argument("grid shape must be RxC (e.g. 2x4), got '" +
+                                text + "'");
+  std::int64_t rows = 0, cols = 0;
+  try {
+    std::size_t used = 0;
+    rows = std::stoll(text.substr(0, x), &used);
+    if (used != x) throw std::invalid_argument(text);
+    cols = std::stoll(text.substr(x + 1), &used);
+    if (used != text.size() - x - 1) throw std::invalid_argument(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("grid shape must be RxC (e.g. 2x4), got '" +
+                                text + "'");
+  }
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("grid dimensions must be at least 1, got '" +
+                                text + "'");
+  return {rows, cols};
+}
+
+namespace {
+
+void validate_bounds(std::span<const double> marginal,
+                     const std::vector<std::int64_t>& bounds) {
+  ULBA_REQUIRE(bounds.size() >= 2, "boundaries need at least one band");
+  ULBA_REQUIRE(bounds.front() == 0 &&
+                   bounds.back() ==
+                       static_cast<std::int64_t>(marginal.size()),
+               "boundaries must span the whole marginal");
+  for (std::size_t j = 1; j < bounds.size(); ++j)
+    ULBA_REQUIRE(bounds[j] > bounds[j - 1],
+                 "every band must be at least one cell wide");
+}
+
+std::vector<double> band_loads(std::span<const double> prefix,
+                               const std::vector<std::int64_t>& bounds) {
+  std::vector<double> loads(bounds.size() - 1);
+  for (std::size_t i = 0; i + 1 < bounds.size(); ++i)
+    loads[i] = prefix[static_cast<std::size_t>(bounds[i + 1])] -
+               prefix[static_cast<std::size_t>(bounds[i])];
+  return loads;
+}
+
+double imbalance_of(std::span<const double> prefix,
+                    const std::vector<std::int64_t>& bounds) {
+  const auto loads = band_loads(prefix, bounds);
+  double max = 0.0, sum = 0.0;
+  for (const double l : loads) {
+    max = std::max(max, l);
+    sum += l;
+  }
+  const double avg = sum / static_cast<double>(loads.size());
+  return avg > 0.0 ? max / avg : 1.0;
+}
+
+std::vector<double> prefix_sums(std::span<const double> marginal) {
+  std::vector<double> prefix(marginal.size() + 1, 0.0);
+  for (std::size_t i = 0; i < marginal.size(); ++i)
+    prefix[i + 1] = prefix[i] + marginal[i];
+  return prefix;
+}
+
+}  // namespace
+
+double band_imbalance(std::span<const double> marginal,
+                      const std::vector<std::int64_t>& bounds) {
+  validate_bounds(marginal, bounds);
+  return imbalance_of(prefix_sums(marginal), bounds);
+}
+
+std::int64_t boundary_move_limit(const std::vector<std::int64_t>& start,
+                                 std::size_t j, double cap) {
+  ULBA_REQUIRE(j >= 1 && j + 1 < start.size(),
+               "move limits apply to interior boundaries only");
+  const std::int64_t left = start[j] - start[j - 1];
+  const std::int64_t right = start[j + 1] - start[j];
+  const auto scaled = static_cast<std::int64_t>(
+      std::floor(cap * static_cast<double>(std::min(left, right))));
+  return std::max<std::int64_t>(1, scaled);
+}
+
+TuneOutcome tune_boundaries(std::span<const double> marginal,
+                            const std::vector<std::int64_t>& start,
+                            const GridTunerConfig& config) {
+  validate_bounds(marginal, start);
+  ULBA_REQUIRE(config.cap > 0.0 && config.cap <= 0.5,
+               "tuner cap must lie in (0, 0.5]");
+  ULBA_REQUIRE(config.max_iterations >= 1,
+               "tuner needs at least one iteration");
+  ULBA_REQUIRE(config.tolerance >= 1.0, "tuner tolerance must be >= 1");
+
+  const std::vector<double> prefix = prefix_sums(marginal);
+  const std::size_t bands = start.size() - 1;
+  const std::int64_t extent = start.back();
+
+  TuneOutcome out;
+  out.boundaries = start;
+  out.imbalance_before = imbalance_of(prefix, start);
+  out.imbalance_after = out.imbalance_before;
+  if (bands == 1 || out.imbalance_before <= config.tolerance) return out;
+
+  std::vector<std::int64_t> cur = start;
+  double best_imbalance = out.imbalance_before;
+  for (std::int64_t it = 1; it <= config.max_iterations; ++it) {
+    if (best_imbalance <= config.tolerance) break;
+    const auto loads = band_loads(prefix, cur);
+    double total = 0.0;
+    for (const double l : loads) total += l;
+    const double avg = total / static_cast<double>(bands);
+    if (avg <= 0.0) break;
+
+    // Inverse-imbalance rescale, damped to [1 - cap, 1 + cap] per band
+    // (hoomd: an overloaded band shrinks, an underloaded one grows).
+    std::vector<double> widths(bands);
+    double width_sum = 0.0;
+    for (std::size_t i = 0; i < bands; ++i) {
+      const double w = static_cast<double>(cur[i + 1] - cur[i]);
+      const double scale =
+          loads[i] > 0.0
+              ? std::clamp(avg / loads[i], 1.0 - config.cap, 1.0 + config.cap)
+              : 1.0 + config.cap;
+      widths[i] = w * scale;
+      width_sum += widths[i];
+    }
+
+    // Integerize by cumulative rounding, then clamp each interior boundary
+    // to its per-rebalance envelope around START (not around `cur` — the
+    // internal passes share one cap) and restore monotonicity with at
+    // least one cell per band.
+    std::vector<std::int64_t> candidate = cur;
+    double cum = 0.0;
+    for (std::size_t j = 1; j < bands; ++j) {
+      cum += widths[j - 1];
+      auto b = static_cast<std::int64_t>(
+          std::llround(cum / width_sum * static_cast<double>(extent)));
+      const std::int64_t limit = boundary_move_limit(start, j, config.cap);
+      b = std::clamp(b, start[j] - limit, start[j] + limit);
+      b = std::clamp(b, candidate[j - 1] + 1,
+                     extent - static_cast<std::int64_t>(bands - j));
+      candidate[j] = b;
+    }
+
+    out.iterations = it;
+    const double imbalance = imbalance_of(prefix, candidate);
+    if (imbalance < best_imbalance) {
+      best_imbalance = imbalance;
+      out.boundaries = candidate;
+      cur = std::move(candidate);
+    } else {
+      // The rescale stalled (integer rounding or the envelope pinned it);
+      // another pass would re-derive the same move.
+      break;
+    }
+  }
+  out.imbalance_after = best_imbalance;
+  return out;
+}
+
+}  // namespace ulba::lb

@@ -1,0 +1,91 @@
+// 2D grid decomposition helpers + the damped per-dimension boundary tuner.
+//
+// A grid decomposition cuts the domain into rows x cols rectangular tiles
+// (one per rank, row-major). Each dimension keeps its own boundary vector in
+// the StripeBoundaries format, so every 1D tool (stripe_loads,
+// load_imbalance, the partitioners) applies per dimension unchanged.
+//
+// The tuner is the hoomd-blue LoadBalancer discipline (SNIPPETS.md Snippet
+// 1) transplanted to integer cell boundaries: rescale each band's width by
+// the inverse of its load imbalance I = load/avg, renormalize, and clamp
+// every interior boundary to a movement envelope of `cap` (~5%) of the
+// smaller adjacent band extent PER REBALANCE — the internal refinement loop
+// (at most `max_iterations` passes) cannot escape that envelope, because the
+// clamp is always taken against the boundaries the rebalance STARTED from.
+// A candidate is kept only when it strictly improves the max/avg imbalance,
+// so the outcome is monotone; a marginal already within `tolerance` is a
+// no-op (zero iterations, boundaries returned unchanged).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ulba::lb {
+
+/// Tile grid shape: `rows` bands stacked vertically x `cols` bands across.
+struct GridShape {
+  std::int64_t rows = 1;
+  std::int64_t cols = 1;
+};
+
+/// Near-square factorization of `ranks`: rows is the largest divisor not
+/// exceeding sqrt(ranks), so rows <= cols and rows * cols == ranks (4 ->
+/// 2x2, 8 -> 2x4, 6 -> 2x3, primes -> 1xR).
+[[nodiscard]] GridShape near_square_grid(std::int64_t ranks);
+
+/// Resolve a possibly-partial RxC request against `ranks`: 0 in a dimension
+/// means "derive it from the other one"; both 0 means near_square_grid.
+/// Throws std::invalid_argument when rows * cols != ranks (non-factorable
+/// requests are rejected, never silently adjusted).
+[[nodiscard]] GridShape resolve_grid_shape(std::int64_t ranks,
+                                           std::int64_t rows,
+                                           std::int64_t cols);
+
+/// Parse the `--grid` vocabulary "RxC" (e.g. "2x4"); throws
+/// std::invalid_argument on anything else.
+[[nodiscard]] GridShape parse_grid_shape(const std::string& text);
+
+struct GridTunerConfig {
+  /// Max interior-boundary movement per rebalance, as a fraction of the
+  /// smaller adjacent band extent (hoomd's maxScale discipline). At least
+  /// one cell of movement is always allowed so coarse grids can still tune.
+  double cap = 0.05;
+  /// Refinement passes per rebalance (hoomd's maxiter).
+  std::int64_t max_iterations = 8;
+  /// max/avg band load at or below which the tuner declares balance and
+  /// leaves the boundaries alone.
+  double tolerance = 1.02;
+};
+
+/// One dimension's tuner outcome.
+struct TuneOutcome {
+  std::vector<std::int64_t> boundaries;
+  std::int64_t iterations = 0;     ///< refinement passes actually run
+  double imbalance_before = 1.0;   ///< max/avg band load at the start bounds
+  double imbalance_after = 1.0;    ///< ... at the returned bounds (<= before)
+};
+
+/// max/avg band load of `bounds` over `marginal` (1.0 when degenerate).
+[[nodiscard]] double band_imbalance(std::span<const double> marginal,
+                                    const std::vector<std::int64_t>& bounds);
+
+/// The movement envelope of interior boundary `j` (0 < j < bands) for one
+/// rebalance starting from `start`: max(1, floor(cap * min(adjacent start
+/// band widths))) cells. Exported so the cap tests assert the exact
+/// contract the tuner enforces.
+[[nodiscard]] std::int64_t boundary_move_limit(
+    const std::vector<std::int64_t>& start, std::size_t j, double cap);
+
+/// Damped boundary tuning of one dimension: start from `start` (the
+/// boundaries of the previous rebalance), iterate at most
+/// `config.max_iterations` inverse-imbalance rescales over `marginal`, and
+/// return the best strictly-improving candidate found — every interior
+/// boundary within boundary_move_limit() of its start position, every band
+/// at least one cell wide. Pure and deterministic.
+[[nodiscard]] TuneOutcome tune_boundaries(std::span<const double> marginal,
+                                          const std::vector<std::int64_t>& start,
+                                          const GridTunerConfig& config);
+
+}  // namespace ulba::lb

@@ -1,0 +1,207 @@
+// The 2D grid-decomposition helpers and the damped per-dimension boundary
+// tuner: shape factorization/parsing, the per-rebalance movement cap, the
+// max-iterations knob, monotone imbalance improvement, and the
+// within-tolerance no-op.
+#include "lb/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace ulba::lb {
+namespace {
+
+std::vector<std::int64_t> even_bounds(std::int64_t cells,
+                                      std::int64_t bands) {
+  std::vector<std::int64_t> b(static_cast<std::size_t>(bands) + 1, 0);
+  for (std::int64_t p = 0; p <= bands; ++p)
+    b[static_cast<std::size_t>(p)] = cells * p / bands;
+  return b;
+}
+
+void expect_valid_bounds(const std::vector<std::int64_t>& b,
+                         std::int64_t cells) {
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), cells);
+  for (std::size_t j = 0; j + 1 < b.size(); ++j)
+    EXPECT_LT(b[j], b[j + 1]) << "band " << j << " must keep >= 1 cell";
+}
+
+TEST(GridShapeTest, NearSquareFactorization) {
+  EXPECT_EQ(near_square_grid(1).rows, 1);
+  EXPECT_EQ(near_square_grid(1).cols, 1);
+  EXPECT_EQ(near_square_grid(4).rows, 2);
+  EXPECT_EQ(near_square_grid(4).cols, 2);
+  EXPECT_EQ(near_square_grid(8).rows, 2);
+  EXPECT_EQ(near_square_grid(8).cols, 4);
+  EXPECT_EQ(near_square_grid(6).rows, 2);
+  EXPECT_EQ(near_square_grid(6).cols, 3);
+  // Primes cannot be split: they degrade to 1 x R (stripes).
+  EXPECT_EQ(near_square_grid(7).rows, 1);
+  EXPECT_EQ(near_square_grid(7).cols, 7);
+  EXPECT_EQ(near_square_grid(36).rows, 6);
+  EXPECT_EQ(near_square_grid(36).cols, 6);
+}
+
+TEST(GridShapeTest, ResolveDerivesMissingDimension) {
+  const GridShape full = resolve_grid_shape(8, 2, 4);
+  EXPECT_EQ(full.rows, 2);
+  EXPECT_EQ(full.cols, 4);
+  const GridShape rows_only = resolve_grid_shape(8, 4, 0);
+  EXPECT_EQ(rows_only.cols, 2);
+  const GridShape cols_only = resolve_grid_shape(8, 0, 2);
+  EXPECT_EQ(cols_only.rows, 4);
+  const GridShape none = resolve_grid_shape(4, 0, 0);
+  EXPECT_EQ(none.rows, 2);
+  EXPECT_EQ(none.cols, 2);
+}
+
+TEST(GridShapeTest, ResolveRejectsNonFactorableShapes) {
+  EXPECT_THROW((void)resolve_grid_shape(4, 3, 2), std::invalid_argument);
+  EXPECT_THROW((void)resolve_grid_shape(4, 3, 0), std::invalid_argument);
+  EXPECT_THROW((void)resolve_grid_shape(8, 0, 3), std::invalid_argument);
+  EXPECT_THROW((void)resolve_grid_shape(0, 0, 0), std::invalid_argument);
+}
+
+TEST(GridShapeTest, ParseAcceptsRxCAndRejectsJunk) {
+  const GridShape s = parse_grid_shape("2x4");
+  EXPECT_EQ(s.rows, 2);
+  EXPECT_EQ(s.cols, 4);
+  EXPECT_THROW((void)parse_grid_shape(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("x4"), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("2x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("2x4x2"), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("axb"), std::invalid_argument);
+  EXPECT_THROW((void)parse_grid_shape("-2x4"), std::invalid_argument);
+}
+
+TEST(GridTunerTest, MoveLimitIsCapTimesSmallerAdjacentBand) {
+  // Bands of width 100 and 40 around boundary 1: the envelope is
+  // floor(cap * 40).
+  const std::vector<std::int64_t> start{0, 100, 140};
+  EXPECT_EQ(boundary_move_limit(start, 1, 0.05), 2);
+  EXPECT_EQ(boundary_move_limit(start, 1, 0.10), 4);
+  // The envelope never collapses to zero — coarse grids can still tune.
+  const std::vector<std::int64_t> coarse{0, 4, 8};
+  EXPECT_EQ(boundary_move_limit(coarse, 1, 0.05), 1);
+}
+
+TEST(GridTunerTest, CapBoundsEveryBoundaryPerRebalance) {
+  // Heavily skewed marginal: without the cap the rescale would slam the
+  // boundaries toward the hot left edge in one step.
+  std::vector<double> marginal(200, 1.0);
+  for (std::size_t x = 0; x < 20; ++x) marginal[x] = 50.0;
+  const auto start = even_bounds(200, 4);
+  GridTunerConfig cfg;
+  cfg.cap = 0.05;
+  cfg.max_iterations = 8;
+  const TuneOutcome out = tune_boundaries(marginal, start, cfg);
+  expect_valid_bounds(out.boundaries, 200);
+  ASSERT_EQ(out.boundaries.size(), start.size());
+  for (std::size_t j = 1; j + 1 < start.size(); ++j) {
+    const std::int64_t limit = boundary_move_limit(start, j, cfg.cap);
+    EXPECT_LE(std::llabs(out.boundaries[j] - start[j]), limit)
+        << "boundary " << j << " escaped the per-rebalance envelope";
+  }
+}
+
+TEST(GridTunerTest, MaxIterationsRespected) {
+  std::vector<double> marginal(128, 1.0);
+  for (std::size_t x = 0; x < 16; ++x) marginal[x] = 20.0;
+  const auto start = even_bounds(128, 4);
+  for (const std::int64_t maxiter : {1, 2, 8}) {
+    GridTunerConfig cfg;
+    cfg.max_iterations = maxiter;
+    const TuneOutcome out = tune_boundaries(marginal, start, cfg);
+    EXPECT_LE(out.iterations, maxiter);
+    EXPECT_GE(out.iterations, 0);
+  }
+}
+
+TEST(GridTunerTest, MonotoneImprovementOnSkewedMarginals) {
+  support::Rng rng(7);
+  int improved = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> marginal(160);
+    for (double& w : marginal) w = rng.uniform(0.5, 1.5);
+    // One random hot band makes the even cut imbalanced.
+    const auto hot = static_cast<std::size_t>(rng.uniform_int(0, 140));
+    for (std::size_t x = hot; x < hot + 20; ++x)
+      marginal[x] += rng.uniform(5.0, 15.0);
+    const auto start = even_bounds(160, 4);
+    GridTunerConfig cfg;
+    const TuneOutcome out = tune_boundaries(marginal, start, cfg);
+    expect_valid_bounds(out.boundaries, 160);
+    EXPECT_DOUBLE_EQ(out.imbalance_before, band_imbalance(marginal, start));
+    EXPECT_DOUBLE_EQ(out.imbalance_after,
+                     band_imbalance(marginal, out.boundaries));
+    // Candidates are accepted only when strictly improving, so the outcome
+    // can never be worse than where the rebalance started.
+    EXPECT_LE(out.imbalance_after, out.imbalance_before) << "trial " << trial;
+    if (out.imbalance_after < out.imbalance_before) {
+      EXPECT_GE(out.iterations, 1) << "trial " << trial;
+      ++improved;
+    }
+  }
+  // A pass can legitimately stall (integer rounding inside a 2-cell
+  // envelope), but on hot-band skews the tuner must usually make progress.
+  EXPECT_GE(improved, 15);
+}
+
+TEST(GridTunerTest, RepeatedRebalancesKeepImproving) {
+  // The per-step cap means one rebalance cannot fix a strong skew; the
+  // sequence of rebalances must still walk the imbalance down monotonically,
+  // each step starting (and clamping) from the previous step's boundaries.
+  std::vector<double> marginal(200, 1.0);
+  for (std::size_t x = 0; x < 25; ++x) marginal[x] = 10.0;
+  auto bounds = even_bounds(200, 4);
+  GridTunerConfig cfg;
+  cfg.cap = 0.10;
+  const double initial = band_imbalance(marginal, bounds);
+  double previous = initial;
+  for (int step = 0; step < 30; ++step) {
+    const TuneOutcome out = tune_boundaries(marginal, bounds, cfg);
+    EXPECT_LE(out.imbalance_after, previous) << "step " << step;
+    for (std::size_t j = 1; j + 1 < bounds.size(); ++j) {
+      const std::int64_t limit = boundary_move_limit(bounds, j, cfg.cap);
+      EXPECT_LE(std::llabs(out.boundaries[j] - bounds[j]), limit)
+          << "step " << step << " boundary " << j;
+    }
+    bounds = out.boundaries;
+    previous = out.imbalance_after;
+  }
+  // Thirty capped steps walk most of the skew out of the decomposition.
+  EXPECT_LT(previous, initial);
+  EXPECT_LT(previous, 1.5);
+}
+
+TEST(GridTunerTest, NoOpWhenBalanced) {
+  const std::vector<double> marginal(120, 1.0);
+  const auto start = even_bounds(120, 4);
+  GridTunerConfig cfg;
+  cfg.tolerance = 1.02;
+  const TuneOutcome out = tune_boundaries(marginal, start, cfg);
+  EXPECT_EQ(out.iterations, 0);
+  EXPECT_EQ(out.boundaries, start);
+  EXPECT_DOUBLE_EQ(out.imbalance_after, out.imbalance_before);
+}
+
+TEST(GridTunerTest, BandImbalanceMatchesDefinition) {
+  // Loads 6 / 2 over two bands: avg 4, max 6 -> 1.5.
+  const std::vector<double> marginal{3.0, 3.0, 1.0, 1.0};
+  const std::vector<std::int64_t> bounds{0, 2, 4};
+  EXPECT_DOUBLE_EQ(band_imbalance(marginal, bounds), 1.5);
+  // Degenerate (zero-load) marginals report balance.
+  const std::vector<double> zero(4, 0.0);
+  EXPECT_DOUBLE_EQ(band_imbalance(zero, bounds), 1.0);
+}
+
+}  // namespace
+}  // namespace ulba::lb
