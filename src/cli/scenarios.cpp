@@ -159,7 +159,9 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
                        "columns-per-pe", "rows", "rock-radius", "threads",
                        "shards", "ranks", "partitioner", "exchange",
                        "ns-scale", "migration-scale", "rng", "decomp", "grid",
-                       "tuner", "tuner-cap", "tuner-maxiter", "tuner-tol"});
+                       "tuner", "tuner-cap", "tuner-maxiter", "tuner-tol",
+                       "trigger-source", "trigger-criterion", "fli-threshold",
+                       "noise"});
   const bool mt = flags.has("mt");
   const std::int64_t pe_count = flags.get_int("pes", mt ? 8 : 32);
   const std::int64_t strong = flags.get_int("strong", 1);
@@ -176,6 +178,14 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   const double migration_scale = flags.get_double("migration-scale", 8.0);
   const std::string decomp = flags.get_string("decomp", "stripes");
   const bool tuner = flags.has("tuner");
+  const erosion::TriggerSource trigger_source =
+      erosion::trigger_source_from_name(
+          flags.get_string("trigger-source", "model"));
+  const erosion::TriggerCriterion trigger_criterion =
+      erosion::trigger_criterion_from_name(
+          flags.get_string("trigger-criterion", "degradation"));
+  const double fli_threshold = flags.get_double("fli-threshold", 0.25);
+  const double noise = flags.get_double("noise", 0.0);
   ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
   ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
                "--strong must be in [1, pes]");
@@ -211,6 +221,24 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
                "--rng selects the virtual-time dynamics stream; the legacy "
                "--mt thread app has its own stepper (combine --mt with "
                "--ranks for the measured-time distributed mode)");
+  // The measured trigger source closes the LB loop on real steady_clock
+  // timings — only the measured-time DISTRIBUTED mode produces them (the
+  // legacy --mt thread app has its own fixed schedule machinery).
+  ULBA_REQUIRE(trigger_source == erosion::TriggerSource::kModel ||
+                   (mt && ranks > 1),
+               "--trigger-source measured feeds the LB trigger from real "
+               "timings; pass --ranks with --mt");
+  ULBA_REQUIRE(!flags.has("trigger-criterion") ||
+                   trigger_source == erosion::TriggerSource::kMeasured,
+               "--trigger-criterion selects the measured trigger's signal; "
+               "pass --trigger-source measured");
+  ULBA_REQUIRE(!flags.has("fli-threshold") ||
+                   trigger_criterion == erosion::TriggerCriterion::kFli,
+               "--fli-threshold calibrates the fli criterion; pass "
+               "--trigger-criterion fli");
+  ULBA_REQUIRE(!flags.has("noise") || (mt && ranks > 1),
+               "--noise perturbs the measured-time burns; pass --ranks "
+               "with --mt");
   ULBA_REQUIRE(decomp == "stripes" || decomp == "grid",
                "--decomp must be 'stripes' or 'grid'");
   ULBA_REQUIRE(decomp == "stripes" || ranks > 1,
@@ -299,6 +327,10 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
   cfg.measure_time = mt;
   cfg.ns_scale = ns_scale;
   cfg.migration_scale = migration_scale;
+  cfg.mt_noise = noise;
+  cfg.trigger_source = trigger_source;
+  cfg.trigger_criterion = trigger_criterion;
+  cfg.fli_threshold = fli_threshold;
   cfg.rng_kind = rng_kind;
   cfg.decomp = decomp;
   cfg.grid_rows = grid_rows;
@@ -342,10 +374,22 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
         << " step exchange, real halo/migration messages; trajectory "
            "bit-identical to the serial run)\n";
   }
-  if (cfg.measure_time)
+  if (cfg.measure_time) {
     out << "(measured time: each rank burns real CPU, ns_scale "
-        << cfg.ns_scale << ", migration_scale " << cfg.migration_scale
-        << "; the LB schedule still comes from the virtual-time trigger)\n";
+        << cfg.ns_scale << ", migration_scale " << cfg.migration_scale;
+    if (cfg.mt_noise > 0.0)
+      out << ", burn noise +/-" << cfg.mt_noise * 100.0 << " %";
+    if (cfg.trigger_source == erosion::TriggerSource::kMeasured)
+      out << ";\n trigger source MEASURED ["
+          << erosion::trigger_criterion_name(cfg.trigger_criterion)
+          << (cfg.trigger_criterion == erosion::TriggerCriterion::kFli
+                  ? " >= " + support::Table::num(cfg.fli_threshold, 2)
+                  : "")
+          << "]: the LB schedule follows the real clock)\n";
+    else
+      out << "; the LB schedule still comes from the virtual-time "
+             "trigger)\n";
+  }
   out << "\n";
 
   cfg.method = erosion::Method::kStandard;
@@ -417,14 +461,19 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
           << "  mean utilization : " << r.measured.utilization * 100.0
           << " %\n"
           << "  iteration times  : "
-          << support::sparkline(r.measured.iteration_seconds) << "\n\n";
+          << support::sparkline(r.measured.iteration_seconds) << "\n"
+          << "  fractional imbal : " << support::sparkline(r.measured.fli)
+          << " (mean " << mean_of(r.measured.fli) << ")\n\n";
     };
     out << "measured wall clock (steady_clock on the SPMD ranks):\n\n";
     mreport("standard:", std_run);
     mreport("ULBA:", ulba_run);
 
+    // A run can finish with zero (or non-finite) model seconds in a bucket
+    // — e.g. no LB step ever fired. Report 0 instead of inf/NaN.
     const auto ratio = [](double measured, double model) {
-      return model > 0.0 ? measured / model : 0.0;
+      const double r = model > 0.0 ? measured / model : 0.0;
+      return std::isfinite(r) ? r : 0.0;
     };
     out << "measured vs model (same runs — the virtual-time numbers above "
            "are their model track):\n"
@@ -439,10 +488,15 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
         << ratio(ulba_run.measured.lb_seconds, ulba_run.lb_seconds) << "\n"
         << "  (a constant compute ratio means the alpha-beta model prices "
            "iterations faithfully;\n   the LB ratio folds in what the model "
-           "cannot see — packing, queueing, host noise)\n"
-        << "  dynamics: eroded cells and the LB schedule are bit-identical "
-           "to the model-time run\n   (the trigger consumes virtual times "
-           "only; measurements ride alongside)\n\n";
+           "cannot see — packing, queueing, host noise)\n";
+    if (cfg.trigger_source == erosion::TriggerSource::kModel)
+      out << "  dynamics: eroded cells and the LB schedule are bit-identical "
+             "to the model-time run\n   (the trigger consumes virtual times "
+             "only; measurements ride alongside)\n\n";
+    else
+      out << "  dynamics: eroded cells are bit-identical to the model-time "
+             "run (LB-independent);\n   the LB schedule follows the measured "
+             "trigger and is wall-clock-dependent\n\n";
   }
 
   out << "==> ULBA gain: "
@@ -870,6 +924,81 @@ int run_interval_quality(const FlagMap& flags, std::ostream& out) {
                 "(a good analytic\n   stand-in for a numeric optimizer)\n"
               : "  SHAPE MISMATCH vs. the paper's Figure 2\n");
   return shape_ok ? 0 : 1;
+}
+
+int run_anticipation(const FlagMap& flags, std::ostream& out) {
+  flags.require_known({"ranks", "pes", "strong", "seed", "iterations",
+                       "noise", "ns-scale", "fli-threshold"});
+  const std::int64_t ranks = flags.get_int("ranks", 4);
+  const std::int64_t pes = flags.get_int("pes", 8);
+  const std::int64_t strong = flags.get_int("strong", 1);
+  const std::uint64_t seed = flags.get_seed("seed", 11);
+  const std::int64_t iterations = flags.get_int("iterations", 60);
+  const double noise = flags.get_double("noise", 0.4);
+  const double ns_scale = flags.get_double("ns-scale", 2.0);
+  const double fli_threshold = flags.get_double("fli-threshold", 0.25);
+  ULBA_REQUIRE(ranks >= 2 && ranks <= 64, "--ranks must be in [2, 64]");
+  ULBA_REQUIRE(pes >= 2, "--pes must be at least 2");
+  ULBA_REQUIRE(strong >= 1 && strong <= pes, "--strong must be in [1, pes]");
+  ULBA_REQUIRE(iterations >= 8, "--iterations must be at least 8");
+  ULBA_REQUIRE(noise > 0.0 && noise < 1.0, "--noise must be in (0, 1)");
+  ULBA_REQUIRE(ns_scale > 0.0, "--ns-scale must be positive");
+  ULBA_REQUIRE(fli_threshold > 0.0, "--fli-threshold must be positive");
+
+  out << "Anticipation vs. reaction (the paper's core claim on real "
+         "hardware):\nULBA-scheduled anticipatory LB (model trigger) against "
+         "reactive LB driven\nby the MEASURED trigger — degradation "
+         "(Algorithm 1 on steady_clock maxima)\nand fli ((max-avg)/avg of "
+         "the gathered per-rank burn times >= "
+      << fli_threshold << ") —\nunder injected multi-tenant burn noise.\n\n"
+      << "(" << ranks << " SPMD ranks, " << pes << " PEs, " << iterations
+      << " iterations, seed " << seed << ", ns_scale " << ns_scale
+      << ";\n wall numbers are real and noisy — re-run for another "
+         "sample)\n\n";
+
+  const std::vector<double> noise_levels{0.0, noise / 2.0, noise};
+  const std::vector<AnticipationReactiveRow> rows =
+      anticipation_vs_reactive_sweep(ranks, pes, strong, seed, iterations,
+                                     noise_levels, ns_scale, fli_threshold);
+
+  support::Table table({"variant", "noise", "wall [s]", "compute [s]",
+                        "LB [s]", "LB calls", "mean util", "mean fli"});
+  for (const AnticipationReactiveRow& r : rows)
+    table.add_row({r.variant, support::Table::num(r.noise, 2),
+                   support::Table::num(r.wall_seconds, 3),
+                   support::Table::num(r.compute_seconds, 3),
+                   support::Table::num(r.lb_seconds, 3),
+                   std::to_string(r.lb_count),
+                   support::Table::pct(r.utilization, 1),
+                   support::Table::num(r.mean_fli, 3)});
+  out << table.render(2) << "\n";
+
+  // Win/loss per noise level: anticipation's measured wall clock against
+  // the better of the two reactive variants.
+  const std::size_t variants_per_level = rows.size() / noise_levels.size();
+  std::int64_t wins = 0;
+  out << "win/loss (anticipation wall clock vs. best reactive):\n";
+  for (std::size_t n = 0; n < noise_levels.size(); ++n) {
+    const AnticipationReactiveRow& ant = rows[n * variants_per_level];
+    double best_reactive = std::numeric_limits<double>::infinity();
+    std::string best_name;
+    for (std::size_t v = 1; v < variants_per_level; ++v) {
+      const AnticipationReactiveRow& r = rows[n * variants_per_level + v];
+      if (r.wall_seconds < best_reactive) {
+        best_reactive = r.wall_seconds;
+        best_name = r.variant;
+      }
+    }
+    const bool win = ant.wall_seconds < best_reactive;
+    wins += win ? 1 : 0;
+    out << "  noise " << support::Table::num(ant.noise, 2) << ": "
+        << (win ? "WIN " : "LOSS") << "  (" << ant.wall_seconds << " s vs "
+        << best_reactive << " s " << best_name << ")\n";
+  }
+  out << "\nanticipation wins " << wins << "/" << noise_levels.size()
+      << " noise level(s)  (same dynamics everywhere: "
+      << rows.front().eroded_cells << " cells eroded per run)\n";
+  return 0;
 }
 
 }  // namespace ulba::cli

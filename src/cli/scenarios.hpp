@@ -58,4 +58,12 @@ int run_dynamic_alpha(const FlagMap& flags, std::ostream& out);
 /// DP optimum bounding both methods.
 int run_interval_quality(const FlagMap& flags, std::ostream& out);
 
+/// `anticipation` — the paper's core claim falsified on real hardware:
+/// ULBA-scheduled anticipatory LB (model trigger) vs. reactive
+/// measured-trigger LB (degradation and fli criteria) under injected burn
+/// noise, with a measured wall/utilization/LB-count win/loss table. Wall
+/// numbers are real — this subcommand is structurally checked, not
+/// golden-matched.
+int run_anticipation(const FlagMap& flags, std::ostream& out);
+
 }  // namespace ulba::cli

@@ -15,8 +15,9 @@ void AdaptiveTrigger::record_iteration(double seconds) {
     has_ref_ = true;
   }
   // Algorithm 1, lines 14–15: degradation += median(recent) − ref_time.
-  // This also runs on the reference iteration itself (the delta is then 0
-  // unless earlier iterations still sit in the window).
+  // This also runs on the reference iteration itself, where the delta is
+  // exactly 0: reset() cleared the window, so the reference is its only
+  // sample.
   degradation_ += window_.median() - ref_time_;
 }
 
@@ -25,6 +26,12 @@ bool AdaptiveTrigger::should_balance(double threshold_seconds) const noexcept {
 }
 
 void AdaptiveTrigger::reset() {
+  // The median window must restart with the degradation accumulator: an LB
+  // step changes the load every rank carries, so pre-LB iteration times say
+  // nothing about the post-LB regime. Keeping them made the first post-LB
+  // medians straddle the boundary — stale slow iterations inflated the fresh
+  // degradation and re-triggered the balancer prematurely.
+  window_.clear();
   degradation_ = 0.0;
   has_ref_ = false;
 }

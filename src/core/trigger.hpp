@@ -37,9 +37,12 @@ class AdaptiveTrigger {
   /// (avg LB cost, plus the ULBA overhead when anticipating).
   [[nodiscard]] bool should_balance(double threshold_seconds) const noexcept;
 
-  /// Call right after an LB step: zeroes the degradation and arms the next
-  /// recorded iteration as the new reference. The smoothing window is kept —
-  /// Algorithm 1's median looks across the LB boundary.
+  /// Call right after an LB step: zeroes the degradation, clears the
+  /// smoothing window, and arms the next recorded iteration as the new
+  /// reference. The window must not survive the LB boundary — pre-LB
+  /// iteration times describe the pre-LB decomposition, and letting the
+  /// median straddle the reset inflated post-LB degradation with stale slow
+  /// samples (premature re-triggering).
   void reset();
 
   [[nodiscard]] bool has_reference() const noexcept { return has_ref_; }

@@ -987,7 +987,11 @@ double DistributedDomain::fractional_load_imbalance() const {
   // per-rank sums of the local (stripe or tile-partial) column weights.
   double local = 0.0;
   for (const double w : weights_) local += w;
-  const std::vector<double> loads = comm_->allgather(local);
+  return fractional_load_imbalance(local);
+}
+
+double DistributedDomain::fractional_load_imbalance(double local_value) const {
+  const std::vector<double> loads = comm_->allgather(local_value);
   double max = 0.0, sum = 0.0;
   for (const double l : loads) {
     max = std::max(max, l);

@@ -419,6 +419,54 @@ TEST(CliScenarios, RngFlagIsValidatedAndExclusiveWithLegacyMt) {
             0);
 }
 
+TEST(CliScenarios, TriggerSourceFlagsAreValidated) {
+  std::ostringstream out;
+  // Unknown names are rejected up front (the *_from_name helpers throw).
+  EXPECT_THROW(run({"erosion", "--trigger-source", "oracle"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--trigger-criterion", "entropy"}, out),
+               std::invalid_argument);
+  // The measured source needs the measured-time distributed mode: plain
+  // virtual-time runs and the legacy --mt thread app (no --ranks) have no
+  // steady_clock track to trigger on.
+  EXPECT_THROW(run({"erosion", "--trigger-source", "measured"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--trigger-source", "measured"}, out),
+               std::invalid_argument);
+  // Criterion/threshold/noise knobs only mean something downstream of the
+  // flags that enable them.
+  EXPECT_THROW(run({"erosion", "--trigger-criterion", "fli"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--fli-threshold", "0.3"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--noise", "0.2"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"erosion", "--mt", "--ranks", "2", "--trigger-source",
+                    "measured", "--noise", "1.5"},
+                   out),
+               std::invalid_argument);
+  // The full measured-trigger knob set runs end to end.
+  EXPECT_EQ(run({"erosion", "--mt", "--ranks", "2", "--trigger-source",
+                 "measured", "--trigger-criterion", "fli", "--fli-threshold",
+                 "0.3", "--noise", "0.2", "--pes", "8", "--iterations", "4",
+                 "--columns-per-pe", "24", "--rows", "32", "--rock-radius",
+                 "8"},
+                out),
+            0);
+}
+
+TEST(CliScenarios, AnticipationRejectsBadFlags) {
+  std::ostringstream out;
+  EXPECT_THROW(run({"anticipation", "--frobnicate", "1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"anticipation", "--ranks", "1"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"anticipation", "--noise", "0"}, out),
+               std::invalid_argument);
+  EXPECT_THROW(run({"anticipation", "--iterations", "4"}, out),
+               std::invalid_argument);
+}
+
 TEST(CliScenarios, IntervalQualityRejectsBadFlags) {
   std::ostringstream out;
   EXPECT_THROW(run({"interval-quality", "--frobnicate", "1"}, out),

@@ -114,6 +114,26 @@ TEST(Trigger, ResetRearmsReference) {
   EXPECT_DOUBLE_EQ(t.reference_time(), 12.0);
 }
 
+TEST(Trigger, ResetClearsTheMedianWindow) {
+  // Regression: reset() used to clear the degradation accumulator and the
+  // reference but NOT the median window, so after an LB step the first few
+  // medians still saw the slow pre-LB iteration times. A slow→LB→fast run
+  // then re-accumulated degradation from stale samples and could re-trigger
+  // immediately. With the window cleared, fast post-LB iterations at the new
+  // reference must accumulate exactly zero degradation.
+  AdaptiveTrigger t(3);
+  t.record_iteration(10.0);
+  t.record_iteration(10.0);
+  t.record_iteration(10.0);  // slow plateau fills the window with 10s
+  t.reset();                 // the LB step fixed the imbalance
+  t.record_iteration(1.0);   // new reference; pre-fix window {10,10,1} ⇒
+  t.record_iteration(1.0);   //   median 10 ⇒ degradation +9 per iteration
+  t.record_iteration(1.0);
+  EXPECT_DOUBLE_EQ(t.degradation(), 0.0);
+  EXPECT_FALSE(t.should_balance(0.5))
+      << "stale pre-LB window samples re-triggered the balancer";
+}
+
 TEST(Trigger, StableIterationsNeverTrigger) {
   AdaptiveTrigger t;
   for (int i = 0; i < 100; ++i) t.record_iteration(7.0);

@@ -43,6 +43,10 @@ TEST(MeasuredErosion, VirtualTrajectoryBitIdenticalToModelTimeRun) {
     AppConfig model_cfg = measured_config(ranks);
     model_cfg.measure_time = false;
     AppConfig mt_cfg = measured_config(ranks);
+    // The determinism contract is per trigger source: with the (default)
+    // `model` source, the measured run's virtual trajectory must stay
+    // bit-identical. Spelled out so a future default change trips this test.
+    mt_cfg.trigger_source = TriggerSource::kModel;
     const RunResult model = ErosionApp(model_cfg).run();
     const RunResult mt = ErosionApp(mt_cfg).run();
     const std::string what = "ranks " + std::to_string(ranks);
@@ -97,6 +101,13 @@ TEST(MeasuredErosion, MeasuredTrackHasConsistentStructure) {
             static_cast<std::size_t>(cfg.iterations));
   ASSERT_EQ(r.measured.degradation.size(),
             static_cast<std::size_t>(cfg.iterations));
+  // The timing-based fractional load imbalance is recorded every iteration
+  // regardless of trigger source.
+  ASSERT_EQ(r.measured.fli.size(), static_cast<std::size_t>(cfg.iterations));
+  for (const double f : r.measured.fli) {
+    EXPECT_TRUE(std::isfinite(f));
+    EXPECT_GE(f, 0.0);
+  }
   double sum = 0.0;
   for (const double s : r.measured.iteration_seconds) {
     EXPECT_GE(s, 0.0);
@@ -117,6 +128,70 @@ TEST(MeasuredErosion, MeasuredTrackHasConsistentStructure) {
   }
   EXPECT_DOUBLE_EQ(lb_sum, r.measured.lb_seconds);
   EXPECT_LE(r.measured.migration_seconds, r.measured.lb_seconds + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// The measured trigger source (--trigger-source measured): the LB schedule
+// comes from steady_clock iteration maxima, so it is nondeterministic by
+// design and asserted STRUCTURALLY, never byte-wise. The central lockstep
+// invariant — every rank acts on the single rank-0 verdict broadcast — is
+// checked by completion: a rank disagreeing on an LB step would enter the
+// migration collectives alone and deadlock the run.
+// ---------------------------------------------------------------------------
+
+TEST(MeasuredErosion, MeasuredSourceRunsLockstepWithCoherentTraces) {
+  AppConfig cfg = measured_config(4, /*ns_scale=*/2.0);
+  cfg.trigger_source = TriggerSource::kMeasured;
+  cfg.mt_noise = 0.3;
+  const RunResult r = ErosionApp(cfg).run();
+
+  // Completion at 4 ranks is itself the lockstep check (see banner above).
+  ASSERT_EQ(r.iterations.size(), static_cast<std::size_t>(cfg.iterations));
+  ASSERT_EQ(r.measured.fli.size(), static_cast<std::size_t>(cfg.iterations));
+  ASSERT_EQ(r.measured.iteration_seconds.size(),
+            static_cast<std::size_t>(cfg.iterations));
+
+  // One verdict per iteration, one measured cost per LB step, and the
+  // virtual trace follows the measured schedule (report-only, but coherent).
+  EXPECT_EQ(static_cast<std::int64_t>(r.lb_iterations.size()), r.lb_count);
+  EXPECT_EQ(r.measured.lb_step_seconds.size(), r.lb_iterations.size());
+  std::int64_t performed = 0;
+  for (const IterationRecord& rec : r.iterations)
+    performed += rec.lb_performed ? 1 : 0;
+  EXPECT_EQ(performed, r.lb_count);
+  for (const double s : r.measured.lb_step_seconds) EXPECT_GT(s, 0.0);
+
+  EXPECT_GT(r.measured.utilization, 0.0);
+  EXPECT_LE(r.measured.utilization, 1.0 + 1e-9);
+
+  // Noise and the LB schedule do not touch the dynamics: a model-source run
+  // of the same seed erodes the exact same cells.
+  AppConfig model_src = measured_config(4, /*ns_scale=*/2.0);
+  const RunResult m = ErosionApp(model_src).run();
+  EXPECT_EQ(r.eroded_cells, m.eroded_cells);
+}
+
+TEST(MeasuredErosion, FliCriterionFiresAndStaysLockstep) {
+  AppConfig cfg = measured_config(2, /*ns_scale=*/2.0);
+  cfg.trigger_criterion = TriggerCriterion::kFli;
+  cfg.trigger_source = TriggerSource::kMeasured;
+  // A threshold this low fires on any real scheduling jitter; the point is
+  // that firing (or not) keeps the run lockstep and the traces shaped.
+  cfg.fli_threshold = 0.01;
+  const RunResult r = ErosionApp(cfg).run();
+  ASSERT_EQ(r.measured.fli.size(), static_cast<std::size_t>(cfg.iterations));
+  EXPECT_EQ(r.measured.lb_step_seconds.size(), r.lb_iterations.size());
+  // The last iteration never fires (nothing left to balance for).
+  for (const std::int64_t it : r.lb_iterations)
+    EXPECT_LT(it, cfg.iterations - 1);
+}
+
+TEST(MeasuredErosion, MeasuredSourceRequiresMeasuredTime) {
+  AppConfig cfg = measured_config(2);
+  cfg.trigger_source = TriggerSource::kMeasured;
+  cfg.measure_time = false;
+  cfg.ranks = 0;
+  EXPECT_THROW(ErosionApp(cfg).run(), std::invalid_argument);
 }
 
 TEST(MeasuredErosion, MoreBurnMeansMoreMeasuredTime) {
