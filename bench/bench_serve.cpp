@@ -1,0 +1,124 @@
+// Benchmarks of the schedule service (google-benchmark + a headline table).
+//
+// Two things live here. The BM_* microbenchmarks gate the service's core
+// price list — cold evaluation per mode, the cache-hit path, and the
+// request codec — and feed tools/perf_gate.py via baselines/bench_serve.json
+// (the `serve_cache_hit_speedup` ratios entry is the ISSUE's ">= 10x on
+// cache hit" acceptance floor, stated as a perf gate instead of a one-off
+// measurement). Before the benchmarks run, main() prints the hit-rate /
+// throughput headline table from one deterministic serve_traffic session —
+// the number the README quotes.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "cli/serve_driver.hpp"
+#include "core/schedule_query.hpp"
+#include "opt/evaluate.hpp"
+
+namespace {
+
+using namespace ulba;
+
+std::vector<core::ScheduleRequest> bench_pool(core::EvalMode mode) {
+  cli::ServeTrafficOptions options;
+  options.distinct = 16;
+  options.mode = mode;
+  return cli::serve_traffic_pool(options);
+}
+
+void BM_ServeEvalColdGrid(benchmark::State& state) {
+  const auto pool = bench_pool(core::EvalMode::kSigmaGrid);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::evaluate_schedule_request(pool[i]).best_seconds);
+    i = (i + 1) % pool.size();
+  }
+}
+BENCHMARK(BM_ServeEvalColdGrid);
+
+void BM_ServeEvalColdDp(benchmark::State& state) {
+  const auto pool = bench_pool(core::EvalMode::kExactDp);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::evaluate_schedule_request(pool[i]).best_seconds);
+    i = (i + 1) % pool.size();
+  }
+}
+BENCHMARK(BM_ServeEvalColdDp);
+
+/// The serve_loop's hot path on a warm cache: serialize the request, look it
+/// up, deserialize nothing (the stored response is returned by value).
+void serve_cache_hit(benchmark::State& state, core::EvalMode mode) {
+  const auto pool = bench_pool(mode);
+  opt::ScheduleCache cache(4096, 8);
+  std::vector<std::vector<std::byte>> keys;
+  keys.reserve(pool.size());
+  for (const auto& request : pool) {
+    keys.push_back(core::serialize_request(request));
+    (void)cache.evaluate_serialized(keys.back(), request);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.evaluate_serialized(keys[i], pool[i]).best_seconds);
+    i = (i + 1) % pool.size();
+  }
+}
+
+void BM_ServeCacheHitGrid(benchmark::State& state) {
+  serve_cache_hit(state, core::EvalMode::kSigmaGrid);
+}
+BENCHMARK(BM_ServeCacheHitGrid);
+
+void BM_ServeCacheHitDp(benchmark::State& state) {
+  serve_cache_hit(state, core::EvalMode::kExactDp);
+}
+BENCHMARK(BM_ServeCacheHitDp);
+
+void BM_ServeRequestCodec(benchmark::State& state) {
+  const auto pool = bench_pool(core::EvalMode::kSigmaGrid);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::vector<std::byte> bytes = core::serialize_request(pool[i]);
+    benchmark::DoNotOptimize(core::deserialize_request(bytes).params.P);
+    i = (i + 1) % pool.size();
+  }
+}
+BENCHMARK(BM_ServeRequestCodec);
+
+/// Headline metrics: one deterministic multi-client session per mode.
+void print_headline() {
+  std::printf(
+      "serve headline (4 clients x 256 requests, pool 16, batch 32):\n");
+  std::printf("%-6s %10s %10s %8s %12s %6s\n", "mode", "requests", "hits",
+              "hitrate", "req/s", "ok");
+  for (const core::EvalMode mode :
+       {core::EvalMode::kSigmaGrid, core::EvalMode::kExactDp}) {
+    cli::ServeTrafficOptions options;
+    options.mode = mode;
+    const cli::ServeTrafficResult r = cli::serve_traffic(options);
+    std::printf("%-6s %10lld %10lld %7.1f%% %12.0f %6s\n",
+                mode == core::EvalMode::kExactDp ? "dp" : "grid",
+                static_cast<long long>(r.metrics.requests),
+                static_cast<long long>(r.metrics.cache_hits),
+                100.0 * r.metrics.hit_rate(), r.requests_per_second,
+                r.ok() ? "PASS" : "FAIL");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_headline();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -227,9 +227,49 @@ std::string instances_help() {
          "standard\nmethod, at the drawn alpha and at the per-instance best "
          "alpha.\n\n"
          "options:\n"
-         "  --samples <int>     instances per PE family        [200]\n"
-         "  --seed <int>        sampling seed                  [20190916]\n"
-         "  --alpha-grid <int>  best-alpha grid resolution     [20]\n";
+         "  --samples <int>         instances per PE family        [200]\n"
+         "  --seed <int>            sampling seed                  "
+         "[20190916]\n"
+         "  --alpha-grid <int>      best-alpha grid resolution     [20]\n"
+         "  --ranks <int>           fan the sweep over the schedule service: "
+         "rank 0\n"
+         "                          serves, ranks 1..N-1 submit their "
+         "interleaved\n"
+         "                          sample shares as ScheduleRequests "
+         "(statistics\n"
+         "                          bit-identical to the serial sweep)  [1]\n"
+         "  --serve-batch <int>     server mailbox batch limit (--ranks)  "
+         "[32]\n"
+         "  --cache-capacity <int>  service memo-cache capacity (--ranks)  "
+         "[4096]\n"
+         "  --cache-shards <int>    service memo-cache shards (--ranks)  "
+         "[8]\n";
+}
+
+std::string serve_help() {
+  return "Run the schedule service under deterministic multi-client "
+         "traffic:\nrank 0 serves ScheduleRequests from a batched mailbox "
+         "loop through the\nsharded memo cache; client ranks replay a seeded "
+         "query mix over a pool\nof `--distinct` Table-II instances and "
+         "check every ScheduleResponse\nbit-for-bit against a cold "
+         "evaluation of the same request (provenance\nmasked). Reports "
+         "hit-rate/throughput headline metrics and PASS/FAIL\nverdicts; "
+         "wall numbers are real. Exit 0 iff the verdicts pass.\n\n"
+         "options:\n"
+         "  --clients <int>         client ranks (world = clients + 1)  "
+         "[4]\n"
+         "  --requests <int>        requests per client            [64]\n"
+         "  --distinct <int>        request-pool size (repeats become "
+         "cache\n"
+         "                          hits)                          [16]\n"
+         "  --serve-batch <int>     server mailbox batch limit     [32]\n"
+         "  --cache-capacity <int>  memo-cache capacity            [4096]\n"
+         "  --cache-shards <int>    memo-cache shards              [8]\n"
+         "  --mode <name>           evaluation mode: grid (sigma+ sweep) or "
+         "dp\n"
+         "                          (exact DP + free-form alpha)   [grid]\n"
+         "  --alpha-grid <int>      alpha grid resolution          [10]\n"
+         "  --seed <int>            traffic seed                   [11]\n";
 }
 
 const std::vector<Subcommand>& registry() {
@@ -277,6 +317,12 @@ const std::vector<Subcommand>& registry() {
        {},
        run_interval_quality,
        interval_quality_help},
+      {"serve",
+       "the schedule service under multi-client traffic: hit rate, "
+       "throughput, verdicts",
+       {},
+       run_serve,
+       serve_help},
       {"anticipation",
        "anticipatory ULBA vs. reactive measured-trigger LB under burn noise",
        {},

@@ -7,15 +7,19 @@
 #include <string>
 #include <vector>
 
+#include "cli/serve_driver.hpp"
 #include "cli/sweep.hpp"
+#include "cli/validate.hpp"
 #include "core/instance.hpp"
 #include "core/intervals.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_query.hpp"
 #include "erosion/app.hpp"
 #include "erosion/threaded_app.hpp"
 #include "lb/grid.hpp"
 #include "lb/partitioners.hpp"
 #include "opt/dp_optimal.hpp"
+#include "opt/evaluate.hpp"
 #include "support/histogram.hpp"
 #include "support/require.hpp"
 #include "support/stats.hpp"
@@ -80,13 +84,17 @@ int run_quickstart(const FlagMap& flags, std::ostream& out) {
   const std::int64_t shards = flags.get_int("shards", 1);
   const std::int64_t ranks = flags.get_int("ranks", 1);
   const std::string partitioner = flags.get_string("partitioner", "greedy");
-  ULBA_REQUIRE(threads >= 1 && threads <= 256,
-               "--threads must be in [1, 256]");
-  ULBA_REQUIRE(shards >= 1 && shards <= 16, "--shards must be in [1, 16]");
-  ULBA_REQUIRE(ranks >= 1 && ranks <= 16, "--ranks must be in [1, 16]");
-  ULBA_REQUIRE(shards == 1 || ranks == 1,
-               "--shards steps in-process, --ranks steps over the SPMD "
-               "runtime; pick one");
+  ConfigValidator v;
+  ULBA_CHECK_FLAG(v, threads >= 1 && threads <= 256, "--threads",
+                  "--threads must be in [1, 256]");
+  ULBA_CHECK_FLAG(v, shards >= 1 && shards <= 16, "--shards",
+                  "--shards must be in [1, 16]");
+  ULBA_CHECK_FLAG(v, ranks >= 1 && ranks <= 16, "--ranks",
+                  "--ranks must be in [1, 16]");
+  ULBA_CHECK_FLAG(v, shards == 1 || ranks == 1, "--shards",
+                  "--shards steps in-process, --ranks steps over the SPMD "
+                  "runtime; pick one");
+  v.raise_first();
   // Reject bad names before any of the analytic report is streamed.
   (void)lb::make_partitioner(partitioner);
 
@@ -186,75 +194,100 @@ int run_erosion(const FlagMap& flags, std::ostream& out) {
           flags.get_string("trigger-criterion", "degradation"));
   const double fli_threshold = flags.get_double("fli-threshold", 0.25);
   const double noise = flags.get_double("noise", 0.0);
-  ULBA_REQUIRE(pe_count >= 2, "--pes must be at least 2");
-  ULBA_REQUIRE(strong >= 1 && strong <= pe_count,
-               "--strong must be in [1, pes]");
-  ULBA_REQUIRE(alpha > 0.0 && alpha <= 1.0, "--alpha must be in (0, 1]");
-  ULBA_REQUIRE(threads >= 1 && threads <= 256,
-               "--threads must be in [1, 256]");
-  ULBA_REQUIRE(shards >= 1 && shards <= 64, "--shards must be in [1, 64]");
-  ULBA_REQUIRE(ranks >= 1 && ranks <= 64, "--ranks must be in [1, 64]");
-  ULBA_REQUIRE(ns_scale > 0.0 && migration_scale >= 0.0,
-               "--ns-scale must be positive, --migration-scale nonnegative");
-  ULBA_REQUIRE(shards == 1 || ranks == 1,
-               "--shards steps in-process, --ranks steps over the SPMD "
-               "runtime; pick one");
+  // The consolidated flag-combination ladder: every violation is recorded,
+  // then the first (in the historical ladder order) is raised, so the exit-2
+  // surface is unchanged while the structured list stays available.
+  ConfigValidator v;
+  ULBA_CHECK_FLAG(v, pe_count >= 2, "--pes", "--pes must be at least 2");
+  ULBA_CHECK_FLAG(v, strong >= 1 && strong <= pe_count, "--strong",
+                  "--strong must be in [1, pes]");
+  ULBA_CHECK_FLAG(v, alpha > 0.0 && alpha <= 1.0, "--alpha",
+                  "--alpha must be in (0, 1]");
+  ULBA_CHECK_FLAG(v, threads >= 1 && threads <= 256, "--threads",
+                  "--threads must be in [1, 256]");
+  ULBA_CHECK_FLAG(v, shards >= 1 && shards <= 64, "--shards",
+                  "--shards must be in [1, 64]");
+  ULBA_CHECK_FLAG(v, ranks >= 1 && ranks <= 64, "--ranks",
+                  "--ranks must be in [1, 64]");
+  ULBA_CHECK_FLAG(v, ns_scale > 0.0 && migration_scale >= 0.0, "--ns-scale",
+                  "--ns-scale must be positive, --migration-scale "
+                  "nonnegative");
+  ULBA_CHECK_FLAG(v, shards == 1 || ranks == 1, "--shards",
+                  "--shards steps in-process, --ranks steps over the SPMD "
+                  "runtime; pick one");
   // --mt alone is the legacy thread-backed app; --mt with --ranks is the
   // measured-time DISTRIBUTED mode, which keeps the full virtual-time knob
   // set (partitioner, exchange, per-rank pools).
-  ULBA_REQUIRE(!mt || ranks > 1 || !flags.has("threads"),
-               "--threads steps the virtual-time dynamics; --mt without "
-               "--ranks already runs on real OS threads");
-  ULBA_REQUIRE(!mt || ranks > 1 ||
-                   (!flags.has("shards") && !flags.has("partitioner") &&
-                    !flags.has("exchange")),
-               "--shards/--partitioner/--exchange drive the virtual-time "
-               "steppers; combine --mt with --ranks for the measured-time "
-               "distributed mode");
-  ULBA_REQUIRE(mt || (!flags.has("ns-scale") && !flags.has("migration-scale")),
-               "--ns-scale/--migration-scale calibrate measured-time runs; "
-               "pass --mt");
-  ULBA_REQUIRE(!flags.has("exchange") || ranks > 1,
-               "--exchange routes the distributed step exchange; pass "
-               "--ranks");
-  ULBA_REQUIRE(!flags.has("rng") || !mt || ranks > 1,
-               "--rng selects the virtual-time dynamics stream; the legacy "
-               "--mt thread app has its own stepper (combine --mt with "
-               "--ranks for the measured-time distributed mode)");
+  ULBA_CHECK_FLAG(v, !mt || ranks > 1 || !flags.has("threads"), "--threads",
+                  "--threads steps the virtual-time dynamics; --mt without "
+                  "--ranks already runs on real OS threads");
+  ULBA_CHECK_FLAG(v,
+                  !mt || ranks > 1 ||
+                      (!flags.has("shards") && !flags.has("partitioner") &&
+                       !flags.has("exchange")),
+                  "--shards",
+                  "--shards/--partitioner/--exchange drive the virtual-time "
+                  "steppers; combine --mt with --ranks for the measured-time "
+                  "distributed mode");
+  ULBA_CHECK_FLAG(v,
+                  mt || (!flags.has("ns-scale") &&
+                         !flags.has("migration-scale")),
+                  "--ns-scale",
+                  "--ns-scale/--migration-scale calibrate measured-time "
+                  "runs; pass --mt");
+  ULBA_CHECK_FLAG(v, !flags.has("exchange") || ranks > 1, "--exchange",
+                  "--exchange routes the distributed step exchange; pass "
+                  "--ranks");
+  ULBA_CHECK_FLAG(v, !flags.has("rng") || !mt || ranks > 1, "--rng",
+                  "--rng selects the virtual-time dynamics stream; the "
+                  "legacy --mt thread app has its own stepper (combine --mt "
+                  "with --ranks for the measured-time distributed mode)");
   // The measured trigger source closes the LB loop on real steady_clock
   // timings — only the measured-time DISTRIBUTED mode produces them (the
   // legacy --mt thread app has its own fixed schedule machinery).
-  ULBA_REQUIRE(trigger_source == erosion::TriggerSource::kModel ||
-                   (mt && ranks > 1),
-               "--trigger-source measured feeds the LB trigger from real "
-               "timings; pass --ranks with --mt");
-  ULBA_REQUIRE(!flags.has("trigger-criterion") ||
-                   trigger_source == erosion::TriggerSource::kMeasured,
-               "--trigger-criterion selects the measured trigger's signal; "
-               "pass --trigger-source measured");
-  ULBA_REQUIRE(!flags.has("fli-threshold") ||
-                   trigger_criterion == erosion::TriggerCriterion::kFli,
-               "--fli-threshold calibrates the fli criterion; pass "
-               "--trigger-criterion fli");
-  ULBA_REQUIRE(!flags.has("noise") || (mt && ranks > 1),
-               "--noise perturbs the measured-time burns; pass --ranks "
-               "with --mt");
-  ULBA_REQUIRE(decomp == "stripes" || decomp == "grid",
-               "--decomp must be 'stripes' or 'grid'");
-  ULBA_REQUIRE(decomp == "stripes" || ranks > 1,
-               "--decomp grid runs over the SPMD runtime; pass --ranks");
-  ULBA_REQUIRE(decomp == "grid" || !flags.has("grid"),
-               "--grid shapes the 2D tile decomposition; pass --decomp grid");
-  ULBA_REQUIRE(decomp == "grid" ||
-                   (!tuner && !flags.has("tuner-cap") &&
-                    !flags.has("tuner-maxiter") && !flags.has("tuner-tol")),
-               "--tuner and its knobs drive the grid decomposition's damped "
-               "rebalancing; pass --decomp grid");
-  ULBA_REQUIRE(tuner || (!flags.has("tuner-cap") &&
-                         !flags.has("tuner-maxiter") &&
-                         !flags.has("tuner-tol")),
-               "--tuner-cap/--tuner-maxiter/--tuner-tol calibrate the "
-               "boundary tuner; pass --tuner");
+  ULBA_CHECK_FLAG(v,
+                  trigger_source == erosion::TriggerSource::kModel ||
+                      (mt && ranks > 1),
+                  "--trigger-source",
+                  "--trigger-source measured feeds the LB trigger from real "
+                  "timings; pass --ranks with --mt");
+  ULBA_CHECK_FLAG(v,
+                  !flags.has("trigger-criterion") ||
+                      trigger_source == erosion::TriggerSource::kMeasured,
+                  "--trigger-criterion",
+                  "--trigger-criterion selects the measured trigger's "
+                  "signal; pass --trigger-source measured");
+  ULBA_CHECK_FLAG(v,
+                  !flags.has("fli-threshold") ||
+                      trigger_criterion == erosion::TriggerCriterion::kFli,
+                  "--fli-threshold",
+                  "--fli-threshold calibrates the fli criterion; pass "
+                  "--trigger-criterion fli");
+  ULBA_CHECK_FLAG(v, !flags.has("noise") || (mt && ranks > 1), "--noise",
+                  "--noise perturbs the measured-time burns; pass --ranks "
+                  "with --mt");
+  ULBA_CHECK_FLAG(v, decomp == "stripes" || decomp == "grid", "--decomp",
+                  "--decomp must be 'stripes' or 'grid'");
+  ULBA_CHECK_FLAG(v, decomp == "stripes" || ranks > 1, "--decomp",
+                  "--decomp grid runs over the SPMD runtime; pass --ranks");
+  ULBA_CHECK_FLAG(v, decomp == "grid" || !flags.has("grid"), "--grid",
+                  "--grid shapes the 2D tile decomposition; pass --decomp "
+                  "grid");
+  ULBA_CHECK_FLAG(v,
+                  decomp == "grid" ||
+                      (!tuner && !flags.has("tuner-cap") &&
+                       !flags.has("tuner-maxiter") && !flags.has("tuner-tol")),
+                  "--tuner",
+                  "--tuner and its knobs drive the grid decomposition's "
+                  "damped rebalancing; pass --decomp grid");
+  ULBA_CHECK_FLAG(v,
+                  tuner || (!flags.has("tuner-cap") &&
+                            !flags.has("tuner-maxiter") &&
+                            !flags.has("tuner-tol")),
+                  "--tuner-cap",
+                  "--tuner-cap/--tuner-maxiter/--tuner-tol calibrate the "
+                  "boundary tuner; pass --tuner");
+  v.raise_first();
   std::int64_t grid_rows = 0, grid_cols = 0;
   if (flags.has("grid")) {
     // Non-factorable shapes (rows * cols != ranks) are rejected by
@@ -582,27 +615,34 @@ int run_alpha_tuning(const FlagMap& flags, std::ostream& out) {
       << "(sweeping alpha in [" << lo << ", " << hi << "] by " << step
       << "; sigma+ schedule per alpha, Eq. (4)/(5) evaluation)\n\n";
 
-  const double t_std =
-      core::evaluate_standard(base, core::menon_schedule(base)).total_seconds;
+  // One ScheduleRequest carries the whole sweep; the response's grid rows
+  // are the per-alpha sigma+ evaluations the loop below used to compute.
+  core::ScheduleRequest request;
+  request.mode = core::EvalMode::kSigmaGrid;
+  request.params = base;
+  for (double a = lo; a <= hi + 1e-12; a += step)
+    request.alpha_grid.push_back(std::min(a, 1.0));
+  const core::ScheduleResponse response =
+      opt::evaluate_schedule_request(request);
+  const double t_std = response.standard_seconds;
 
   support::Table table({"alpha", "LB calls", "T total [s]", "gain"});
   std::vector<double> gains;
   std::vector<double> alphas;
+  // Local best scan over the swept alphas only: the response's best_alpha
+  // seeds from the alpha=0 standard fallback, which this sweep excludes.
   double best_alpha = lo, best_time = std::numeric_limits<double>::infinity();
-  for (double a = lo; a <= hi + 1e-12; a += step) {
-    core::ModelParams q = base;
-    q.alpha = std::min(a, 1.0);
-    const auto schedule = core::sigma_plus_schedule(q);
-    const double t = core::evaluate_ulba(q, schedule).total_seconds;
+  for (const core::GridPointEval& point : response.grid) {
+    const double t = point.total_seconds;
     const double gain = (t_std - t) / t_std;
     if (t < best_time) {
       best_time = t;
-      best_alpha = q.alpha;
+      best_alpha = point.alpha;
     }
-    alphas.push_back(q.alpha);
+    alphas.push_back(point.alpha);
     gains.push_back(gain * 100.0);
-    table.add_row({support::Table::num(q.alpha, 2),
-                   std::to_string(schedule.lb_count()),
+    table.add_row({support::Table::num(point.alpha, 2),
+                   std::to_string(point.lb_count),
                    support::Table::num(t, 2), support::Table::pct(gain, 2)});
   }
   out << table.render(2) << "\n";
@@ -724,13 +764,39 @@ int run_gossip(const FlagMap& flags, std::ostream& out) {
 }
 
 int run_instances(const FlagMap& flags, std::ostream& out) {
-  flags.require_known({"samples", "seed", "alpha-grid"});
+  flags.require_known({"samples", "seed", "alpha-grid", "ranks", "serve-batch",
+                       "cache-capacity", "cache-shards"});
   const std::int64_t samples = flags.get_int("samples", 200);
   const std::uint64_t seed = flags.get_seed("seed", 20190916);
   const std::int64_t grid = flags.get_int("alpha-grid", 20);
-  ULBA_REQUIRE(samples >= 1 && samples <= 100000,
-               "--samples must be in [1, 100000]");
-  ULBA_REQUIRE(grid >= 1 && grid <= 1000, "--alpha-grid must be in [1, 1000]");
+  const std::int64_t ranks = flags.get_int("ranks", 1);
+  const std::int64_t serve_batch = flags.get_int("serve-batch", 32);
+  const std::int64_t cache_capacity = flags.get_int("cache-capacity", 4096);
+  const std::int64_t cache_shards = flags.get_int("cache-shards", 8);
+  ConfigValidator v;
+  ULBA_CHECK_FLAG(v, samples >= 1 && samples <= 100000, "--samples",
+                  "--samples must be in [1, 100000]");
+  ULBA_CHECK_FLAG(v, grid >= 1 && grid <= 1000, "--alpha-grid",
+                  "--alpha-grid must be in [1, 1000]");
+  ULBA_CHECK_FLAG(v, ranks >= 1 && ranks <= 64, "--ranks",
+                  "--ranks must be in [1, 64]");
+  ULBA_CHECK_FLAG(v, !flags.has("serve-batch") || ranks > 1, "--serve-batch",
+                  "--serve-batch tunes the schedule service; pass --ranks");
+  ULBA_CHECK_FLAG(v, !flags.has("cache-capacity") || ranks > 1,
+                  "--cache-capacity",
+                  "--cache-capacity sizes the service's memo cache; pass "
+                  "--ranks");
+  ULBA_CHECK_FLAG(v, !flags.has("cache-shards") || ranks > 1,
+                  "--cache-shards",
+                  "--cache-shards shards the service's memo cache; pass "
+                  "--ranks");
+  ULBA_CHECK_FLAG(v, serve_batch >= 1 && serve_batch <= 4096, "--serve-batch",
+                  "--serve-batch must be in [1, 4096]");
+  ULBA_CHECK_FLAG(v, cache_capacity >= 1, "--cache-capacity",
+                  "--cache-capacity must be at least 1");
+  ULBA_CHECK_FLAG(v, cache_shards >= 1 && cache_shards <= 64, "--cache-shards",
+                  "--cache-shards must be in [1, 64]");
+  v.raise_first();
 
   out << "Table-II instance sweep: ULBA vs standard over the paper's random\n"
          "application families (" << samples << " instances per PE family, "
@@ -741,8 +807,23 @@ int run_instances(const FlagMap& flags, std::ostream& out) {
                         "avg best-alpha"});
   std::int64_t total_wins = 0, total_losses = 0;
   double peak_best_gain = 0.0;
-  for (const std::int64_t p : core::kTableIIPeCounts) {
-    const FamilyStats s = instance_family_stats(p, samples, seed, grid);
+  std::vector<FamilyStats> families;
+  serve::ServeMetrics served_metrics;
+  if (ranks == 1) {
+    for (const std::int64_t p : core::kTableIIPeCounts)
+      families.push_back(instance_family_stats(p, samples, seed, grid));
+  } else {
+    serve::ServeOptions serve_options;
+    serve_options.batch_limit = serve_batch;
+    serve_options.cache_capacity = cache_capacity;
+    serve_options.cache_shards = cache_shards;
+    const ServedSweepResult served = instance_sweep_served(
+        core::kTableIIPeCounts, samples, seed, grid,
+        static_cast<int>(ranks), serve_options);
+    families = served.families;
+    served_metrics = served.metrics;
+  }
+  for (const FamilyStats& s : families) {
     total_wins += s.wins;
     total_losses += s.losses;
     peak_best_gain = std::max(peak_best_gain, s.median_best_gain);
@@ -763,6 +844,18 @@ int run_instances(const FlagMap& flags, std::ostream& out) {
       << " losses at the drawn alpha; median best-alpha gain up to "
       << support::Table::pct(peak_best_gain, 2)
       << " (paper Fig. 3: up to ~21 %)\n";
+  if (ranks > 1) {
+    out << "\nserved over " << ranks << " ranks (1 server + " << ranks - 1
+        << " clients, batch limit " << serve_batch << "):\n"
+        << "  requests " << served_metrics.requests << ", cache hits "
+        << served_metrics.cache_hits << ", misses "
+        << served_metrics.cache_misses << " (hit rate "
+        << support::Table::pct(served_metrics.hit_rate(), 1) << ")\n"
+        << "  batches " << served_metrics.batches << ", max batch "
+        << served_metrics.max_batch << ", traffic "
+        << served_metrics.request_bytes << " B in / "
+        << served_metrics.response_bytes << " B out\n";
+  }
   return 0;
 }
 
@@ -924,6 +1017,106 @@ int run_interval_quality(const FlagMap& flags, std::ostream& out) {
                 "(a good analytic\n   stand-in for a numeric optimizer)\n"
               : "  SHAPE MISMATCH vs. the paper's Figure 2\n");
   return shape_ok ? 0 : 1;
+}
+
+int run_serve(const FlagMap& flags, std::ostream& out) {
+  flags.require_known({"clients", "requests", "distinct", "serve-batch",
+                       "cache-capacity", "cache-shards", "mode", "alpha-grid",
+                       "seed"});
+  const std::int64_t clients = flags.get_int("clients", 4);
+  const std::int64_t requests = flags.get_int("requests", 64);
+  const std::int64_t distinct = flags.get_int("distinct", 16);
+  const std::int64_t serve_batch = flags.get_int("serve-batch", 32);
+  const std::int64_t cache_capacity = flags.get_int("cache-capacity", 4096);
+  const std::int64_t cache_shards = flags.get_int("cache-shards", 8);
+  const std::string mode = flags.get_string("mode", "grid");
+  const std::int64_t alpha_grid = flags.get_int("alpha-grid", 10);
+  const std::uint64_t seed = flags.get_seed("seed", 11);
+  ConfigValidator v;
+  ULBA_CHECK_FLAG(v, clients >= 1 && clients <= 64, "--clients",
+                  "--clients must be in [1, 64]");
+  ULBA_CHECK_FLAG(v, requests >= 1 && requests <= 100000, "--requests",
+                  "--requests must be in [1, 100000]");
+  ULBA_CHECK_FLAG(v, distinct >= 1 && distinct <= 10000, "--distinct",
+                  "--distinct must be in [1, 10000]");
+  ULBA_CHECK_FLAG(v, serve_batch >= 1 && serve_batch <= 4096, "--serve-batch",
+                  "--serve-batch must be in [1, 4096]");
+  ULBA_CHECK_FLAG(v, cache_capacity >= 1, "--cache-capacity",
+                  "--cache-capacity must be at least 1");
+  ULBA_CHECK_FLAG(v, cache_shards >= 1 && cache_shards <= 64, "--cache-shards",
+                  "--cache-shards must be in [1, 64]");
+  ULBA_CHECK_FLAG(v, mode == "grid" || mode == "dp", "--mode",
+                  "--mode must be 'grid' (sigma+ sweep) or 'dp' (exact DP)");
+  ULBA_CHECK_FLAG(v, alpha_grid >= 1 && alpha_grid <= 1000, "--alpha-grid",
+                  "--alpha-grid must be in [1, 1000]");
+  v.raise_first();
+
+  ServeTrafficOptions options;
+  options.clients = static_cast<int>(clients);
+  options.requests_per_client = requests;
+  options.distinct = distinct;
+  options.batch_limit = serve_batch;
+  options.cache_capacity = cache_capacity;
+  options.cache_shards = cache_shards;
+  options.mode =
+      mode == "dp" ? core::EvalMode::kExactDp : core::EvalMode::kSigmaGrid;
+  options.alpha_grid = alpha_grid;
+  options.seed = seed;
+
+  out << "Schedule service under deterministic multi-client traffic\n"
+      << "(1 server rank + " << clients << " client rank(s); " << requests
+      << " requests/client drawn from a pool of " << distinct
+      << " Table-II\n instances; mode " << mode << ", alpha grid "
+      << alpha_grid + 1 << " points; every response is checked\n "
+      << "bit-for-bit against a cold evaluation of the same request)\n\n";
+
+  const ServeTrafficResult result = serve_traffic(options);
+
+  out << "server (rank 0, batch limit " << serve_batch << ", cache "
+      << cache_capacity << " x " << cache_shards << " shards):\n"
+      << "  requests      : " << result.metrics.requests << "\n"
+      << "  cache hits    : " << result.metrics.cache_hits << "\n"
+      << "  cache misses  : " << result.metrics.cache_misses << "\n"
+      << "  hit rate      : "
+      << support::Table::pct(result.metrics.hit_rate(), 1) << "\n"
+      << "  evictions     : " << result.metrics.cache_evictions << "\n"
+      << "  batches       : " << result.metrics.batches
+      << " (max batch " << result.metrics.max_batch << ")\n"
+      << "  traffic       : " << result.metrics.request_bytes << " B in / "
+      << result.metrics.response_bytes << " B out\n\n";
+
+  out << "clients:\n"
+      << "  total requests    : " << result.total_requests << "\n"
+      << "  distinct queried  : " << result.distinct_queried << "\n"
+      << "  hit responses     : " << result.hit_responses << "\n"
+      << "  throughput        : "
+      << support::Table::num(result.requests_per_second, 0)
+      << " req/s (wall " << support::Table::num(result.wall_seconds, 3)
+      << " s)\n\n";
+
+  // The determinism contract, stated as verdicts (wall numbers above are
+  // real; these are the structurally-checked invariants).
+  const bool counts_ok =
+      result.metrics.requests == result.total_requests &&
+      result.metrics.cache_hits + result.metrics.cache_misses ==
+          result.metrics.requests;
+  const bool misses_ok = cache_capacity >= distinct
+                             ? result.metrics.cache_misses ==
+                                   result.distinct_queried
+                             : result.metrics.cache_misses >=
+                                   result.distinct_queried;
+  out << "verdicts:\n"
+      << "  bit-identical responses : "
+      << (result.ok() ? "PASS" : "FAIL") << " (" << result.mismatched_responses
+      << " mismatched)\n"
+      << "  request accounting      : " << (counts_ok ? "PASS" : "FAIL")
+      << "\n"
+      << "  miss = distinct         : " << (misses_ok ? "PASS" : "FAIL")
+      << "\n";
+  const bool ok = result.ok() && counts_ok && misses_ok;
+  out << "\n" << (ok ? "service contract holds" : "SERVICE CONTRACT VIOLATED")
+      << "\n";
+  return ok ? 0 : 1;
 }
 
 int run_anticipation(const FlagMap& flags, std::ostream& out) {

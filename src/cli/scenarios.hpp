@@ -58,6 +58,15 @@ int run_dynamic_alpha(const FlagMap& flags, std::ostream& out);
 /// DP optimum bounding both methods.
 int run_interval_quality(const FlagMap& flags, std::ostream& out);
 
+/// `serve` — the schedule service under deterministic multi-client traffic:
+/// rank 0 runs serve::serve_loop (batched mailbox wakeups, sharded memoized
+/// cache), the client ranks replay a seeded query mix and check every
+/// response bit-for-bit against a cold evaluation of the same request.
+/// Reports hit-rate/throughput headline metrics plus PASS/FAIL verdicts for
+/// the cached-answer determinism contract; wall-clock numbers are real —
+/// structurally checked, not golden-matched. Exit 0 iff the verdicts pass.
+int run_serve(const FlagMap& flags, std::ostream& out);
+
 /// `anticipation` — the paper's core claim falsified on real hardware:
 /// ULBA-scheduled anticipatory LB (model trigger) vs. reactive
 /// measured-trigger LB (degradation and fli criteria) under injected burn

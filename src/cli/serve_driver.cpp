@@ -1,0 +1,130 @@
+#include "cli/serve_driver.hpp"
+
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+#include "cli/sweep.hpp"
+#include "core/instance.hpp"
+#include "opt/evaluate.hpp"
+#include "runtime/spmd.hpp"
+#include "support/require.hpp"
+#include "support/rng.hpp"
+
+namespace ulba::cli {
+namespace {
+
+/// Provenance-masked response bytes — the equality the determinism
+/// contract is stated in.
+std::vector<std::byte> masked_payload(core::ScheduleResponse response) {
+  response.provenance = core::ResponseProvenance{};
+  return core::serialize_response(response);
+}
+
+/// Client r's pool picks, in submission order. A pure replay: the driver
+/// uses it to pre-compute the distinct set, the client ranks to pick.
+std::vector<std::size_t> client_picks(const ServeTrafficOptions& options,
+                                      int client_rank) {
+  support::Rng picker = support::Rng(options.seed)
+                            .fork(1000 + static_cast<std::uint64_t>(client_rank));
+  std::vector<std::size_t> picks;
+  picks.reserve(static_cast<std::size_t>(options.requests_per_client));
+  for (std::int64_t k = 0; k < options.requests_per_client; ++k)
+    picks.push_back(picker.index(static_cast<std::size_t>(options.distinct)));
+  return picks;
+}
+
+}  // namespace
+
+std::vector<core::ScheduleRequest> serve_traffic_pool(
+    const ServeTrafficOptions& options) {
+  ULBA_REQUIRE(options.distinct >= 1, "serve traffic needs a non-empty pool");
+  ULBA_REQUIRE(options.alpha_grid >= 1,
+               "serve traffic alpha grid needs at least one step");
+  std::vector<core::ScheduleRequest> pool;
+  pool.reserve(static_cast<std::size_t>(options.distinct));
+  for (std::int64_t i = 0; i < options.distinct; ++i) {
+    support::Rng rng =
+        support::Rng(options.seed).fork(static_cast<std::uint64_t>(i));
+    core::ScheduleRequest request;
+    request.mode = options.mode;
+    request.params = core::InstanceGenerator().sample(rng).params;
+    request.alpha_grid.reserve(static_cast<std::size_t>(options.alpha_grid) +
+                               1);
+    for (std::int64_t g = 0; g <= options.alpha_grid; ++g)
+      request.alpha_grid.push_back(static_cast<double>(g) /
+                                   static_cast<double>(options.alpha_grid));
+    pool.push_back(std::move(request));
+  }
+  return pool;
+}
+
+ServeTrafficResult serve_traffic(const ServeTrafficOptions& options) {
+  ULBA_REQUIRE(options.clients >= 1, "serve traffic needs at least one client");
+  ULBA_REQUIRE(options.requests_per_client >= 1,
+               "serve traffic needs at least one request per client");
+  const std::vector<core::ScheduleRequest> pool = serve_traffic_pool(options);
+
+  // The reference answers, computed cold and independently of the service.
+  const auto cold_payloads =
+      parallel_map(pool.size(), [&](std::size_t i) {
+        return masked_payload(opt::evaluate_schedule_request(pool[i]));
+      });
+
+  ServeTrafficResult result;
+  std::unordered_set<std::size_t> distinct_set;
+  for (int r = 1; r <= options.clients; ++r)
+    for (const std::size_t pick : client_picks(options, r))
+      distinct_set.insert(pick);
+  result.distinct_queried = static_cast<std::int64_t>(distinct_set.size());
+  result.total_requests =
+      static_cast<std::int64_t>(options.clients) * options.requests_per_client;
+
+  serve::ServeOptions serve_options;
+  serve_options.batch_limit = options.batch_limit;
+  serve_options.cache_capacity = options.cache_capacity;
+  serve_options.cache_shards = options.cache_shards;
+
+  // Per-rank verdict slots: rank r writes slot r only, read after the join.
+  std::vector<std::int64_t> mismatches(
+      static_cast<std::size_t>(options.clients) + 1, 0);
+  std::vector<std::int64_t> hits(static_cast<std::size_t>(options.clients) + 1,
+                                 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  runtime::spmd_run(options.clients + 1, [&](runtime::Comm& comm) {
+    if (comm.rank() == serve_options.server_rank) {
+      result.metrics = serve::serve_loop(comm, serve_options);
+      return;
+    }
+    serve::ScheduleClient client(comm, serve_options.server_rank);
+    const std::vector<std::size_t> picks = client_picks(options, comm.rank());
+    std::vector<std::uint64_t> ids;
+    ids.reserve(picks.size());
+    for (const std::size_t pick : picks)
+      ids.push_back(client.submit(pool[pick]));
+    const auto slot = static_cast<std::size_t>(comm.rank());
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      const core::ScheduleResponse response = client.await(ids[k]);
+      if (response.provenance.cache_hit != 0) ++hits[slot];
+      if (masked_payload(response) != cold_payloads[picks[k]])
+        ++mismatches[slot];
+    }
+    client.finish();
+  });
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  for (std::size_t r = 0; r < mismatches.size(); ++r) {
+    result.mismatched_responses += mismatches[r];
+    result.hit_responses += hits[r];
+  }
+  result.requests_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.total_requests) / result.wall_seconds
+          : 0.0;
+  return result;
+}
+
+}  // namespace ulba::cli

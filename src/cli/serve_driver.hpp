@@ -1,0 +1,60 @@
+// In-process multi-client traffic driver for the schedule service — the
+// harness behind `ulba_cli serve` and bench_serve's headline hit-rate /
+// throughput numbers. Spawns one SPMD world (rank 0 = server, the rest =
+// clients), replays a deterministic query mix drawn from a pool of
+// `distinct` Table-II requests, and checks every response bit-for-bit
+// against an independently computed cold evaluation of the same request —
+// the cached-answer determinism contract, verified under genuinely
+// concurrent arrival orders.
+#pragma once
+
+#include <cstdint>
+
+#include "core/schedule_query.hpp"
+#include "serve/service.hpp"
+
+namespace ulba::cli {
+
+struct ServeTrafficOptions {
+  int clients = 4;
+  std::int64_t requests_per_client = 256;
+  /// Size of the request pool the clients draw from; repeats are what the
+  /// cache turns into hits.
+  std::int64_t distinct = 32;
+  std::int64_t batch_limit = 32;
+  std::int64_t cache_capacity = 4096;
+  std::int64_t cache_shards = 8;
+  core::EvalMode mode = core::EvalMode::kSigmaGrid;
+  std::int64_t alpha_grid = 10;
+  std::uint64_t seed = 11;
+};
+
+struct ServeTrafficResult {
+  serve::ServeMetrics metrics;
+  double wall_seconds = 0.0;
+  std::int64_t total_requests = 0;
+  double requests_per_second = 0.0;
+  /// Distinct pool entries actually queried (deterministic for a seed):
+  /// with capacity >= distinct this equals the server's cache misses.
+  std::int64_t distinct_queried = 0;
+  /// Responses whose provenance-masked payload differed from the cold
+  /// evaluation of the same request — must be 0.
+  std::int64_t mismatched_responses = 0;
+  /// Responses answered from the cache (as seen by the clients).
+  std::int64_t hit_responses = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return mismatched_responses == 0; }
+};
+
+/// The deterministic request pool the traffic draws from (exposed so tests
+/// and benchmarks can evaluate the same requests out-of-band).
+[[nodiscard]] std::vector<core::ScheduleRequest> serve_traffic_pool(
+    const ServeTrafficOptions& options);
+
+/// Run one traffic session and verify every response against cold
+/// evaluation. Deterministic in everything except wall clock and the
+/// server's batching counters (arrival order is real concurrency).
+[[nodiscard]] ServeTrafficResult serve_traffic(
+    const ServeTrafficOptions& options);
+
+}  // namespace ulba::cli

@@ -10,12 +10,15 @@
 #include "core/gossip.hpp"
 #include "core/instance.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_query.hpp"
 #include "erosion/domain.hpp"
 #include "lb/grid.hpp"
 #include "lb/partitioners.hpp"
 #include "opt/annealing.hpp"
 #include "opt/dp_alpha.hpp"
 #include "opt/dp_optimal.hpp"
+#include "opt/evaluate.hpp"
+#include "runtime/spmd.hpp"
 #include "support/require.hpp"
 #include "support/stats.hpp"
 
@@ -108,56 +111,54 @@ ErosionAggregate erosion_median_over_seeds(
   return agg;
 }
 
-FamilyStats instance_family_stats(std::int64_t pin_p, std::int64_t samples,
-                                  std::uint64_t base_seed,
-                                  std::int64_t alpha_grid) {
-  ULBA_REQUIRE(samples >= 1, "need at least one sample per family");
-  ULBA_REQUIRE(alpha_grid >= 1, "alpha grid needs at least one step");
-  const std::uint64_t seed =
-      support::Rng(base_seed).fork(static_cast<std::uint64_t>(pin_p)).seed();
-  struct Draw {
-    double gain = 0.0;
-    double best_gain = 0.0;
-    double best_alpha = 0.0;
-  };
-  const auto draws = parallel_map(
-      static_cast<std::size_t>(samples), [&](std::size_t i) {
-        support::Rng rng = support::Rng(seed).fork(i);
-        core::InstanceOptions opts;
-        opts.pin_p = pin_p;
-        core::ModelParams p = core::InstanceGenerator(opts).sample(rng).params;
+namespace {
 
-        const double t_std =
-            core::evaluate_standard(p, core::menon_schedule(p)).total_seconds;
-        const auto ulba_time = [&p, t_std](double alpha) {
-          if (alpha == 0.0) return t_std;  // α = 0 degenerates to standard
-          core::ModelParams q = p;
-          q.alpha = alpha;
-          return core::evaluate_ulba(q, core::sigma_plus_schedule(q))
-              .total_seconds;
-        };
+/// The per-sample verdict of the Table-II sweep.
+struct InstanceDraw {
+  double gain = 0.0;
+  double best_gain = 0.0;
+  double best_alpha = 0.0;
+};
 
-        Draw d;
-        d.gain = (t_std - ulba_time(p.alpha)) / t_std;
-        double best = t_std;  // the α = 0 fallback can never lose
-        for (std::int64_t a = 0; a <= alpha_grid; ++a) {
-          const double alpha =
-              static_cast<double>(a) / static_cast<double>(alpha_grid);
-          const double t = ulba_time(alpha);
-          if (t < best) {
-            best = t;
-            d.best_alpha = alpha;
-          }
-        }
-        d.best_gain = (t_std - best) / t_std;
-        return d;
-      });
+/// The exact ScheduleRequest of family sample `i`: the same Table-II
+/// instance draw the pre-API sweep made, with the candidate grid
+/// {0, 1/alpha_grid, …, 1}. Serial and served sweeps both build requests
+/// through here, which is what makes them bit-identical.
+core::ScheduleRequest instance_alpha_request(std::int64_t pin_p,
+                                             std::uint64_t family_seed,
+                                             std::size_t sample_index,
+                                             std::int64_t alpha_grid) {
+  support::Rng rng = support::Rng(family_seed).fork(sample_index);
+  core::InstanceOptions opts;
+  opts.pin_p = pin_p;
+  core::ScheduleRequest request;
+  request.mode = core::EvalMode::kSigmaGrid;
+  request.params = core::InstanceGenerator(opts).sample(rng).params;
+  request.alpha_grid.reserve(static_cast<std::size_t>(alpha_grid) + 1);
+  for (std::int64_t a = 0; a <= alpha_grid; ++a)
+    request.alpha_grid.push_back(static_cast<double>(a) /
+                                 static_cast<double>(alpha_grid));
+  return request;
+}
 
+InstanceDraw draw_from_response(const core::ScheduleResponse& response) {
+  InstanceDraw d;
+  d.gain = (response.standard_seconds - response.alpha_seconds) /
+           response.standard_seconds;
+  d.best_gain = (response.standard_seconds - response.best_seconds) /
+                response.standard_seconds;
+  d.best_alpha = response.best_alpha;
+  return d;
+}
+
+/// Reduce one family's per-sample draws (in sample order) to its stats row.
+FamilyStats family_stats_from_draws(std::int64_t pin_p, std::int64_t samples,
+                                    std::span<const InstanceDraw> draws) {
   FamilyStats stats;
   stats.pin_p = pin_p;
   stats.samples = samples;
   std::vector<double> gains, best_gains, best_alphas;
-  for (const Draw& d : draws) {
+  for (const InstanceDraw& d : draws) {
     gains.push_back(d.gain);
     best_gains.push_back(d.best_gain);
     best_alphas.push_back(d.best_alpha);
@@ -176,6 +177,98 @@ FamilyStats instance_family_stats(std::int64_t pin_p, std::int64_t samples,
   stats.median_best_gain = support::median(best_gains);
   stats.mean_best_alpha = support::mean(best_alphas);
   return stats;
+}
+
+std::uint64_t family_seed_for(std::int64_t pin_p, std::uint64_t base_seed) {
+  return support::Rng(base_seed)
+      .fork(static_cast<std::uint64_t>(pin_p))
+      .seed();
+}
+
+}  // namespace
+
+FamilyStats instance_family_stats(std::int64_t pin_p, std::int64_t samples,
+                                  std::uint64_t base_seed,
+                                  std::int64_t alpha_grid) {
+  ULBA_REQUIRE(samples >= 1, "need at least one sample per family");
+  ULBA_REQUIRE(alpha_grid >= 1, "alpha grid needs at least one step");
+  const std::uint64_t seed = family_seed_for(pin_p, base_seed);
+  const auto draws = parallel_map(
+      static_cast<std::size_t>(samples), [&](std::size_t i) {
+        return draw_from_response(opt::evaluate_schedule_request(
+            instance_alpha_request(pin_p, seed, i, alpha_grid)));
+      });
+  return family_stats_from_draws(pin_p, samples, draws);
+}
+
+ServedSweepResult instance_sweep_served(std::span<const std::int64_t> pin_ps,
+                                        std::int64_t samples,
+                                        std::uint64_t base_seed,
+                                        std::int64_t alpha_grid, int ranks,
+                                        const serve::ServeOptions& options) {
+  ULBA_REQUIRE(!pin_ps.empty(), "need at least one family");
+  ULBA_REQUIRE(samples >= 1, "need at least one sample per family");
+  ULBA_REQUIRE(alpha_grid >= 1, "alpha grid needs at least one step");
+  ULBA_REQUIRE(ranks >= 2,
+               "the served sweep needs a server rank plus at least one "
+               "client rank");
+  // Draw triples travel on their own channel, after the service traffic.
+  constexpr int kTagDraws = 910;
+
+  ServedSweepResult result;
+  result.families.resize(pin_ps.size());
+  const int clients = ranks - 1;
+  runtime::spmd_run(ranks, [&](runtime::Comm& comm) {
+    if (comm.rank() == options.server_rank) {
+      result.metrics = serve::serve_loop(comm, options);
+      comm.barrier();
+      // Reassemble each family's draws into sample order: sample i lives at
+      // position i / clients of client (i mod clients) + 1's flat vector.
+      for (std::size_t f = 0; f < pin_ps.size(); ++f) {
+        std::vector<std::vector<double>> flat(
+            static_cast<std::size_t>(clients));
+        for (int r = 1; r < ranks; ++r)
+          flat[static_cast<std::size_t>(r - 1)] =
+              comm.recv_vector<double>(r, kTagDraws);
+        std::vector<InstanceDraw> draws(static_cast<std::size_t>(samples));
+        for (std::int64_t i = 0; i < samples; ++i) {
+          const auto owner = static_cast<std::size_t>(i % clients);
+          const auto at = static_cast<std::size_t>(i / clients) * 3;
+          ULBA_REQUIRE(flat[owner].size() >= at + 3,
+                       "served sweep draw vector too short");
+          draws[static_cast<std::size_t>(i)] = {flat[owner][at],
+                                                flat[owner][at + 1],
+                                                flat[owner][at + 2]};
+        }
+        result.families[f] =
+            family_stats_from_draws(pin_ps[f], samples, draws);
+      }
+      return;
+    }
+
+    // Client rank r owns the interleaved sample indices r−1, r−1+clients, …
+    // of every family. Submit the whole family before awaiting anything —
+    // the pipelining that gives the server real batches to drain.
+    serve::ScheduleClient client(comm, options.server_rank);
+    std::vector<std::vector<double>> family_draws(pin_ps.size());
+    for (std::size_t f = 0; f < pin_ps.size(); ++f) {
+      const std::uint64_t seed = family_seed_for(pin_ps[f], base_seed);
+      std::vector<std::uint64_t> ids;
+      for (std::int64_t i = comm.rank() - 1; i < samples; i += clients)
+        ids.push_back(client.submit(instance_alpha_request(
+            pin_ps[f], seed, static_cast<std::size_t>(i), alpha_grid)));
+      for (const std::uint64_t id : ids) {
+        const InstanceDraw d = draw_from_response(client.await(id));
+        family_draws[f].insert(family_draws[f].end(),
+                               {d.gain, d.best_gain, d.best_alpha});
+      }
+    }
+    client.finish();
+    comm.barrier();
+    for (const std::vector<double>& flat : family_draws)
+      comm.send_span<double>(options.server_rank, kTagDraws, flat);
+  });
+  return result;
 }
 
 std::vector<PartitionerQualityRow> partitioner_quality_sweep(
@@ -256,18 +349,16 @@ DynamicAlphaModelBound dynamic_alpha_model_bound(std::size_t instances,
   const auto margins = parallel_map(instances, [&](std::size_t i) {
     support::Rng rng = support::Rng(seed).fork(i);
     const core::InstanceGenerator gen;
-    const core::ModelParams base = gen.sample(rng).params;
-
-    double best_fixed = std::numeric_limits<double>::infinity();
-    for (const double alpha : opt::default_alpha_grid()) {
-      core::ModelParams p = base;
-      p.alpha = alpha;
-      best_fixed = std::min(
-          best_fixed,
-          opt::optimal_schedule(p, opt::CostModel::kUlba).total_seconds);
-    }
-    const auto free_res = opt::optimal_alpha_schedule(base);
-    return (1.0 - free_res.total_seconds / best_fixed) * 100.0;
+    // One exact-DP request per instance: best_seconds is the best single
+    // fixed α (the DP per grid point), schedule_seconds the free per-step-α
+    // DP over the same grid — the two sides of the dynamic-α margin.
+    core::ScheduleRequest request;
+    request.mode = core::EvalMode::kExactDp;
+    request.params = gen.sample(rng).params;
+    request.alpha_grid = opt::default_alpha_grid();
+    const core::ScheduleResponse response =
+        opt::evaluate_schedule_request(request);
+    return (1.0 - response.schedule_seconds / response.best_seconds) * 100.0;
   });
   const auto s = support::summarize(margins);
   return {s.mean, s.median, s.max};

@@ -18,6 +18,7 @@
 
 #include "core/instance.hpp"
 #include "erosion/app.hpp"
+#include "serve/service.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 
@@ -120,6 +121,24 @@ struct FamilyStats {
                                                 std::int64_t samples,
                                                 std::uint64_t base_seed,
                                                 std::int64_t alpha_grid);
+
+/// The Table-II sweep as the schedule service's first heavy client.
+struct ServedSweepResult {
+  std::vector<FamilyStats> families;  ///< parallel to the pin_ps argument
+  serve::ServeMetrics metrics;        ///< the server rank's counters
+};
+
+/// Fan the instance sweep out over `ranks` SPMD ranks: rank 0 runs
+/// serve::serve_loop, every other rank builds the same per-sample
+/// ScheduleRequests the serial sweep evaluates and pipelines them to the
+/// server (client r owns the interleaved sample indices r−1, r−1+(ranks−1),
+/// … of every family — non-stripe work distribution). Draws are reassembled
+/// into sample order before the reduction, so every FamilyStats field is
+/// bit-identical to instance_family_stats for the same inputs. `ranks` ≥ 2.
+[[nodiscard]] ServedSweepResult instance_sweep_served(
+    std::span<const std::int64_t> pin_ps, std::int64_t samples,
+    std::uint64_t base_seed, std::int64_t alpha_grid, int ranks,
+    const serve::ServeOptions& options);
 
 // ---------------------------------------------------------------------------
 // Partitioner ablation (bench_ablation_partitioner; `erosion --partitioner`

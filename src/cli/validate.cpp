@@ -1,0 +1,32 @@
+#include "cli/validate.hpp"
+
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace ulba::cli {
+
+ConfigValidator& ConfigValidator::record(bool ok, const char* condition,
+                                         const char* file, int line,
+                                         std::string flag,
+                                         std::string message) {
+  if (!ok) {
+    ConfigError error;
+    error.flag = std::move(flag);
+    error.condition = condition;
+    error.file = file;
+    error.line = line;
+    error.message = std::move(message);
+    errors_.push_back(std::move(error));
+  }
+  return *this;
+}
+
+void ConfigValidator::raise_first() const {
+  if (errors_.empty()) return;
+  const ConfigError& first = errors_.front();
+  support::throw_requirement(first.condition.c_str(), first.file, first.line,
+                             first.message);
+}
+
+}  // namespace ulba::cli

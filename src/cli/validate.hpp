@@ -1,0 +1,59 @@
+// Consolidated CLI configuration validation.
+//
+// The subcommand handlers used to validate their flag combinations through
+// bare ULBA_REQUIRE if-ladders, which throw on the first violation and keep
+// no structure. ConfigValidator collects EVERY violation as a structured
+// ConfigError (offending flag, stringified predicate, source location,
+// message) and only then raises — `raise_first()` routes the first recorded
+// error through support::throw_requirement, so the exception type and the
+// "requirement violated: (<predicate>) at <file>:<line> — <message>" text
+// the CLI prints at exit 2 are exactly what the old ladders produced.
+//
+// Use the ULBA_CHECK_FLAG macro so the predicate text is captured verbatim:
+//
+//   ConfigValidator v;
+//   ULBA_CHECK_FLAG(v, ranks >= 1 && ranks <= 64, "--ranks",
+//                   "--ranks must be in [1, 64]");
+//   v.raise_first();
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ulba::cli {
+
+/// One recorded validation failure.
+struct ConfigError {
+  std::string flag;       ///< the offending CLI flag (e.g. "--ranks")
+  std::string condition;  ///< the stringified predicate that failed
+  const char* file = "";
+  int line = 0;
+  std::string message;
+};
+
+/// Collects flag-validation failures instead of throwing at the first one.
+class ConfigValidator {
+ public:
+  /// Record `condition`/`flag`/`message` when `ok` is false. Returns *this
+  /// so checks can chain. Prefer the ULBA_CHECK_FLAG macro, which stringifies
+  /// the predicate and captures the source location.
+  ConfigValidator& record(bool ok, const char* condition, const char* file,
+                          int line, std::string flag, std::string message);
+
+  [[nodiscard]] bool ok() const noexcept { return errors_.empty(); }
+  [[nodiscard]] const std::vector<ConfigError>& errors() const noexcept {
+    return errors_;
+  }
+
+  /// Throw std::invalid_argument for the first recorded error (the ladder
+  /// order), formatted exactly like ULBA_REQUIRE. No-op when ok().
+  void raise_first() const;
+
+ private:
+  std::vector<ConfigError> errors_;
+};
+
+}  // namespace ulba::cli
+
+#define ULBA_CHECK_FLAG(validator, cond, flag, msg) \
+  (validator).record((cond), #cond, __FILE__, __LINE__, (flag), (msg))

@@ -12,9 +12,11 @@
 #include "core/intervals.hpp"
 #include "core/schedule.hpp"
 #include "core/trigger.hpp"
+#include "core/schedule_query.hpp"
 #include "erosion/distributed_domain.hpp"
 #include "erosion/sharded_domain.hpp"
 #include "lb/driver.hpp"
+#include "opt/evaluate.hpp"
 #include "lb/stripe_partitioner.hpp"
 #include "runtime/spmd.hpp"
 #include "support/burn.hpp"
@@ -111,7 +113,8 @@ double fraction_alpha(double base_alpha, std::int64_t n_hat,
 /// (N̂, â, m̂) by splitting the WIR population at the detector's flags, bind
 /// them to the live observables (Wtot, average LB cost, remaining γ), and
 /// grid-search α over {0, 0.1, …, 1} with the σ⁺ schedule as the predicted
-/// execution — the runtime counterpart of opt::optimal_alpha_schedule's grid.
+/// execution — the same sigma-grid ScheduleRequest the serve cache answers,
+/// evaluated through the shared opt::evaluate_schedule_request entry point.
 double model_grid_alpha(const core::OverloadDetector& detector,
                         std::span<const double> view, std::int64_t pe_count,
                         std::int64_t remaining_iterations, double wtot,
@@ -137,7 +140,9 @@ double model_grid_alpha(const core::OverloadDetector& detector,
   const double m_est =
       std::max(0.0, over_sum / static_cast<double>(n_hat) - a_est);
 
-  core::ModelParams est;
+  core::ScheduleRequest request;
+  request.mode = core::EvalMode::kSigmaGrid;
+  core::ModelParams& est = request.params;
   est.P = pe_count;
   est.N = n_hat;
   est.gamma = remaining_iterations;
@@ -146,21 +151,11 @@ double model_grid_alpha(const core::OverloadDetector& detector,
   est.m = m_est;
   est.omega = flops;
   est.lb_cost = lb_cost_avg;
-
   est.alpha = 0.0;
-  double best_alpha = 0.0;
-  double best =
-      core::evaluate_standard(est, core::menon_schedule(est)).total_seconds;
-  for (int g = 1; g <= 10; ++g) {
-    est.alpha = static_cast<double>(g) / 10.0;
-    const double t =
-        core::evaluate_ulba(est, core::sigma_plus_schedule(est)).total_seconds;
-    if (t < best) {
-      best = t;
-      best_alpha = est.alpha;
-    }
-  }
-  return best_alpha;
+  request.alpha_grid.reserve(11);
+  for (int g = 0; g <= 10; ++g)
+    request.alpha_grid.push_back(static_cast<double>(g) / 10.0);
+  return opt::evaluate_schedule_request(request).best_alpha;
 }
 
 /// Prior LB-cost estimate: only the communication phases are predictable

@@ -1,0 +1,145 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "runtime/mailbox.hpp"
+#include "support/require.hpp"
+
+namespace ulba::serve {
+namespace {
+
+// Envelope: [uint64 correlation id][codec payload]. The id stays outside
+// the schedule-query codec so the cache key is exactly the request bytes.
+std::vector<std::byte> envelope(std::uint64_t id,
+                                std::span<const std::byte> payload) {
+  std::vector<std::byte> out(sizeof(std::uint64_t) + payload.size());
+  std::memcpy(out.data(), &id, sizeof(id));
+  if (!payload.empty())
+    std::memcpy(out.data() + sizeof(id), payload.data(), payload.size());
+  return out;
+}
+
+std::uint64_t open_envelope(const runtime::Message& message,
+                            std::span<const std::byte>& payload_out) {
+  ULBA_REQUIRE(message.payload.size() >= sizeof(std::uint64_t),
+               "schedule service message too short for a correlation id");
+  std::uint64_t id = 0;
+  std::memcpy(&id, message.payload.data(), sizeof(id));
+  payload_out = std::span<const std::byte>(message.payload)
+                    .subspan(sizeof(std::uint64_t));
+  return id;
+}
+
+void handle_request(runtime::Comm& comm, opt::ScheduleCache& cache,
+                    const runtime::Message& message, ServeMetrics& metrics) {
+  std::span<const std::byte> payload;
+  const std::uint64_t id = open_envelope(message, payload);
+  std::vector<std::byte> request_bytes(payload.begin(), payload.end());
+  const core::ScheduleRequest request =
+      core::deserialize_request(request_bytes);
+  core::ScheduleResponse response =
+      cache.evaluate_serialized(request_bytes, request);
+  response.provenance.server_rank = comm.rank();
+  ++metrics.requests;
+  if (response.provenance.cache_hit != 0)
+    ++metrics.cache_hits;
+  else
+    ++metrics.cache_misses;
+  const std::vector<std::byte> response_bytes =
+      core::serialize_response(response);
+  metrics.request_bytes +=
+      static_cast<std::int64_t>(message.payload.size());
+  metrics.response_bytes +=
+      static_cast<std::int64_t>(sizeof(std::uint64_t) + response_bytes.size());
+  comm.send_bytes(message.source, kTagScheduleResponse,
+                  envelope(id, response_bytes));
+}
+
+}  // namespace
+
+ServeMetrics serve_loop(runtime::Comm& comm, opt::ScheduleCache& cache,
+                        const ServeOptions& options) {
+  ULBA_REQUIRE(comm.rank() == options.server_rank,
+               "serve_loop must run on the configured server rank");
+  ULBA_REQUIRE(options.batch_limit >= 1, "serve batch limit must be >= 1");
+  ServeMetrics metrics;
+  const int clients = comm.size() - 1;
+  while (metrics.clients_finished < clients) {
+    // One blocking receive, then drain whatever is already queued — the
+    // mailbox-batching analogue of an event loop's "take the whole ready
+    // list" wakeup.
+    std::vector<runtime::Message> batch;
+    batch.push_back(comm.recv_message(runtime::kAnySource, runtime::kAnyTag));
+    runtime::Message extra;
+    while (static_cast<std::int64_t>(batch.size()) < options.batch_limit &&
+           comm.try_recv_message(runtime::kAnySource, runtime::kAnyTag,
+                                 extra)) {
+      batch.push_back(std::move(extra));
+    }
+    ++metrics.batches;
+    metrics.max_batch =
+        std::max(metrics.max_batch, static_cast<std::int64_t>(batch.size()));
+    for (const runtime::Message& message : batch) {
+      switch (message.tag) {
+        case kTagClientDone:
+          ++metrics.clients_finished;
+          break;
+        case kTagScheduleRequest:
+          handle_request(comm, cache, message, metrics);
+          break;
+        default:
+          ULBA_REQUIRE(false, "unexpected tag on the schedule service rank");
+      }
+    }
+  }
+  const opt::CacheStats stats = cache.stats();
+  metrics.cache_evictions = stats.evictions;
+  return metrics;
+}
+
+ServeMetrics serve_loop(runtime::Comm& comm, const ServeOptions& options) {
+  opt::ScheduleCache cache(options.cache_capacity, options.cache_shards);
+  return serve_loop(comm, cache, options);
+}
+
+ScheduleClient::ScheduleClient(runtime::Comm& comm, int server_rank)
+    : comm_(&comm), server_rank_(server_rank) {
+  ULBA_REQUIRE(comm.rank() != server_rank,
+               "the server rank cannot be its own client");
+}
+
+std::uint64_t ScheduleClient::submit(const core::ScheduleRequest& request) {
+  const std::uint64_t id = next_id_++;
+  comm_->send_bytes(server_rank_, kTagScheduleRequest,
+                    envelope(id, core::serialize_request(request)));
+  return id;
+}
+
+core::ScheduleResponse ScheduleClient::await(std::uint64_t id) {
+  for (;;) {
+    const auto it = stash_.find(id);
+    if (it != stash_.end()) {
+      core::ScheduleResponse response = std::move(it->second);
+      stash_.erase(it);
+      return response;
+    }
+    const runtime::Message message =
+        comm_->recv_message(server_rank_, kTagScheduleResponse);
+    std::span<const std::byte> payload;
+    const std::uint64_t got = open_envelope(message, payload);
+    stash_.emplace(got, core::deserialize_response(payload));
+  }
+}
+
+core::ScheduleResponse ScheduleClient::query(
+    const core::ScheduleRequest& request) {
+  return await(submit(request));
+}
+
+void ScheduleClient::finish() {
+  comm_->send_bytes(server_rank_, kTagClientDone, {});
+}
+
+}  // namespace ulba::serve
