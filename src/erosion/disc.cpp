@@ -124,11 +124,14 @@ void apply_disc(DiscState& d, const std::vector<std::int32_t>& to_erode) {
 
 namespace {
 
-// Wire layout: 6 × int64 header {disc_id, x0, y0, side, rock_remaining,
-// frontier_count} + 1 × double erosion_prob + side² cell bytes +
-// frontier_count × int32. Everything little-endian host order — the
-// runtime's ranks share one machine (BitwisePortable discipline).
-constexpr std::size_t kHeaderInts = 6;
+// Wire layout: 1 × int64 format version + 6 × int64 header {disc_id, x0,
+// y0, side, rock_remaining, frontier_count} + 1 × double erosion_prob +
+// side² cell bytes + frontier_count × int32. Everything little-endian host
+// order — the runtime's ranks share one machine (BitwisePortable
+// discipline). The version leads so a stale peer fails loudly on the very
+// first read instead of misparsing the header.
+constexpr std::int64_t kDiscFormatVersion = 1;
+constexpr std::size_t kHeaderInts = 7;
 
 void append_bytes(std::vector<std::byte>& out, const void* data,
                   std::size_t size) {
@@ -159,6 +162,7 @@ std::vector<std::byte> serialize_disc(std::size_t disc_id,
   std::vector<std::byte> out;
   out.reserve(kHeaderInts * sizeof(std::int64_t) + sizeof(double) +
               d.cells.size() + d.frontier.size() * sizeof(std::int32_t));
+  append_raw(out, kDiscFormatVersion);
   append_raw(out, static_cast<std::int64_t>(disc_id));
   append_raw(out, d.x0);
   append_raw(out, d.y0);
@@ -174,6 +178,9 @@ std::vector<std::byte> serialize_disc(std::size_t disc_id,
 
 DiscState deserialize_disc(std::span<const std::byte> payload,
                            std::size_t expected_disc_id) {
+  const auto version = read_raw<std::int64_t>(payload);
+  ULBA_REQUIRE(version == kDiscFormatVersion,
+               "unsupported disc payload format version");
   const auto disc_id = read_raw<std::int64_t>(payload);
   ULBA_REQUIRE(disc_id == static_cast<std::int64_t>(expected_disc_id),
                "disc hand-off id does not match the expected disc");

@@ -29,6 +29,11 @@ struct Delta {
   double weight = 0.0;
 };
 
+// Mailbox channels of the measured-time SPMD loop.
+constexpr int kTagInitWeights = 2;   ///< one-time initial column footprints
+constexpr int kTagWeightDeltas = 3;  ///< per-iteration sparse weight deltas
+constexpr int kTagGossipRound = 4;   ///< systolic WIR database exchange
+
 std::vector<double> pack_db(const core::WirDatabase& db) {
   std::vector<double> out;
   out.reserve(2 * static_cast<std::size_t>(db.pe_count()));
@@ -116,10 +121,10 @@ ThreadedRunResult run_threaded(const ThreadedConfig& config) {
           init.push_back({x, my_w[static_cast<std::size_t>(x)] - fluid});
       }
       for (int r = 0; r < P; ++r)
-        if (r != rank) comm.send_span<Delta>(r, /*tag=*/2, init);
+        if (r != rank) comm.send_span<Delta>(r, kTagInitWeights, init);
       for (int r = 0; r < P; ++r) {
         if (r == rank) continue;
-        for (const Delta& d : comm.recv_vector<Delta>(r, /*tag=*/2))
+        for (const Delta& d : comm.recv_vector<Delta>(r, kTagInitWeights))
           weights[static_cast<std::size_t>(d.column)] += d.weight;
       }
     }
@@ -160,12 +165,12 @@ ThreadedRunResult run_threaded(const ThreadedConfig& config) {
         }
       }
       for (int r = 0; r < P; ++r)
-        if (r != rank) comm.send_span<Delta>(r, /*tag=*/3, deltas);
+        if (r != rank) comm.send_span<Delta>(r, kTagWeightDeltas, deltas);
       for (const Delta& d : deltas)
         weights[static_cast<std::size_t>(d.column)] += d.weight;
       for (int r = 0; r < P; ++r) {
         if (r == rank) continue;
-        for (const Delta& d : comm.recv_vector<Delta>(r, /*tag=*/3))
+        for (const Delta& d : comm.recv_vector<Delta>(r, kTagWeightDeltas))
           weights[static_cast<std::size_t>(d.column)] += d.weight;
       }
 
@@ -179,10 +184,11 @@ ThreadedRunResult run_threaded(const ThreadedConfig& config) {
       prev_owned = owned;
       wir_valid = true;
       const int shift = 1 + static_cast<int>(iter) % (P - 1);
-      comm.send_span<double>((rank + shift) % P, /*tag=*/4, pack_db(db));
+      comm.send_span<double>((rank + shift) % P, kTagGossipRound,
+                             pack_db(db));
       core::WirDatabase incoming(config.pe_count);
-      merge_packed(incoming,
-                   comm.recv_vector<double>((rank - shift + P) % P, 4));
+      merge_packed(incoming, comm.recv_vector<double>((rank - shift + P) % P,
+                                                      kTagGossipRound));
       (void)db.merge_from(incoming);
 
       // --- agree on the iteration time; trigger

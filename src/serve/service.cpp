@@ -15,8 +15,11 @@ namespace {
 std::vector<std::byte> envelope(std::uint64_t id,
                                 std::span<const std::byte> payload) {
   std::vector<std::byte> out(sizeof(std::uint64_t) + payload.size());
+  // ulba-lint: allow(codec-discipline): `out` is constructed with exactly
+  // id + payload bytes one line up; there is no size to re-check.
   std::memcpy(out.data(), &id, sizeof(id));
   if (!payload.empty())
+    // ulba-lint: allow(codec-discipline): bounded by the same construction.
     std::memcpy(out.data() + sizeof(id), payload.data(), payload.size());
   return out;
 }

@@ -177,8 +177,89 @@ def check_ratios(ratios, measured, num_cpus, failures):
                             f"{min_ratio:g} ({num} / {den})")
 
 
+TOP_LEVEL_KEYS = {"description", "unit", "max_factor", "floor",
+                  "entries", "ratios"}
+ENTRY_KEYS = {"baseline", "max_factor"}
+RATIO_KEYS = {"numerator", "denominator", "min_ratio", "min_cpus"}
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_baseline(path):
+    """Schema-check one baseline file; return a list of error strings.
+
+    Runs in CI before the gate itself so a typo'd key (say `max_facto`)
+    fails loudly instead of silently falling back to the global tolerance.
+    """
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable: {exc}"]
+    if not isinstance(baseline, dict):
+        return [f"{path}: top level must be an object"]
+
+    for key in sorted(set(baseline) - TOP_LEVEL_KEYS):
+        errors.append(f"{path}: unknown top-level key '{key}'")
+    for key in ("unit", "max_factor", "floor", "entries"):
+        if key not in baseline:
+            errors.append(f"{path}: missing required key '{key}'")
+    if "unit" in baseline and baseline["unit"] not in ("ns", "seconds"):
+        errors.append(f"{path}: unit must be 'ns' or 'seconds', got "
+                      f"{baseline['unit']!r}")
+    for key in ("max_factor", "floor"):
+        if key in baseline and not _is_number(baseline[key]):
+            errors.append(f"{path}: '{key}' must be a number")
+
+    entries = baseline.get("entries", {})
+    if not isinstance(entries, dict):
+        errors.append(f"{path}: 'entries' must be an object")
+        entries = {}
+    for name, entry in sorted(entries.items()):
+        where = f"{path}: entries['{name}']"
+        if _is_number(entry):
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: must be a number or an object")
+            continue
+        for key in sorted(set(entry) - ENTRY_KEYS):
+            errors.append(f"{where}: unknown key '{key}'")
+        if "baseline" not in entry:
+            errors.append(f"{where}: object form requires 'baseline'")
+        for key in ENTRY_KEYS & set(entry):
+            if not _is_number(entry[key]):
+                errors.append(f"{where}: '{key}' must be a number")
+
+    ratios = baseline.get("ratios", {})
+    if not isinstance(ratios, dict):
+        errors.append(f"{path}: 'ratios' must be an object")
+        ratios = {}
+    for label, spec in sorted(ratios.items()):
+        where = f"{path}: ratios['{label}']"
+        if not isinstance(spec, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        for key in sorted(set(spec) - RATIO_KEYS):
+            errors.append(f"{where}: unknown key '{key}'")
+        for key in ("numerator", "denominator"):
+            if not isinstance(spec.get(key), str) or not spec.get(key):
+                errors.append(f"{where}: '{key}' must be a non-empty "
+                              "benchmark name")
+        if "min_ratio" not in spec or not _is_number(spec.get("min_ratio")):
+            errors.append(f"{where}: 'min_ratio' must be a number")
+        if "min_cpus" in spec and not (
+                isinstance(spec["min_cpus"], int)
+                and not isinstance(spec["min_cpus"], bool)):
+            errors.append(f"{where}: 'min_cpus' must be an integer")
+    return errors
+
+
 USAGE = ("usage: perf_gate.py [--update [--prune]] <results: junit .xml | "
-         "google-benchmark .json> <baseline .json>")
+         "google-benchmark .json> <baseline .json>\n"
+         "       perf_gate.py --validate <baseline .json>...")
 
 
 def main() -> int:
@@ -190,12 +271,15 @@ def main() -> int:
     # file.
     update = False
     prune = False
+    validate = False
     args = []
     for arg in sys.argv[1:]:
         if arg == "--update":
             update = True
         elif arg == "--prune":
             prune = True
+        elif arg == "--validate":
+            validate = True
         elif arg.startswith("-"):
             print(f"error: unknown option '{arg}'\n{USAGE}", file=sys.stderr)
             return 2
@@ -205,6 +289,20 @@ def main() -> int:
         print(f"error: --prune only makes sense with --update\n{USAGE}",
               file=sys.stderr)
         return 2
+    if validate:
+        if update or not args:
+            print(f"error: --validate takes baseline file(s) only\n{USAGE}",
+                  file=sys.stderr)
+            return 2
+        errors = []
+        for path in args:
+            errors.extend(validate_baseline(path))
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"validated {len(args)} baseline(s): schema ok")
+        return 0
     if len(args) != 2:
         print(USAGE, file=sys.stderr)
         print(__doc__, file=sys.stderr)

@@ -1,0 +1,58 @@
+// Fixture: a file following every contract — ulba_lint must report zero
+// findings here. Mentions of banned tokens live only in comments and
+// strings (mt19937, steady_clock, rand()), which the pass must ignore.
+// NOT part of the build — parsed by ulba_lint only.
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#define ULBA_REQUIRE(cond, msg) ((void)0)
+
+namespace fixture {
+
+constexpr std::int64_t kFormatVersion = 1;
+constexpr int kTagClean = 11;
+
+struct Comm {
+  void send_bytes(int dest, int tag, const std::vector<std::byte>& payload);
+};
+
+// Ordered traversal feeding a report: deterministic by construction.
+void print_report(std::ostream& out, const std::map<int, double>& stats) {
+  for (const auto& entry : stats) out << entry.first << ":" << entry.second;
+}
+
+std::vector<std::byte> serialize_value(std::int64_t value) {
+  std::vector<std::byte> out;
+  out.resize(sizeof(kFormatVersion) + sizeof(value));
+  std::memcpy(out.data(), &kFormatVersion, sizeof(kFormatVersion));
+  std::memcpy(out.data() + sizeof(kFormatVersion), &value, sizeof(value));
+  return out;
+}
+
+std::int64_t deserialize_value(std::span<const std::byte> payload) {
+  ULBA_REQUIRE(payload.size() == sizeof(std::int64_t) * 2,
+               "payload size mismatch");
+  std::int64_t version = 0;
+  std::memcpy(&version, payload.data(), sizeof(version));
+  ULBA_REQUIRE(version == kFormatVersion, "unsupported version");
+  std::int64_t value = 0;
+  std::memcpy(&value, payload.data() + sizeof(version), sizeof(value));
+  return value;
+}
+
+void guarded_send(std::mutex& mutex, std::vector<std::byte>& pending,
+                  Comm& comm) {
+  std::vector<std::byte> snapshot;
+  {
+    const std::lock_guard<std::mutex> guard(mutex);
+    snapshot = pending;
+  }
+  comm.send_bytes(0, kTagClean, snapshot);
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: codec-discipline must fire on versionless codecs, unguarded
+// deserializer reads, and raw memcpy without a bounds check. NOT part of
+// the build — parsed by ulba_lint only.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace fixture {
+
+struct Header {
+  std::int64_t id = 0;
+  std::int64_t count = 0;
+};
+
+// finding: frames a payload but never writes a version marker.
+std::vector<std::byte> serialize_header(const Header& h) {
+  std::vector<std::byte> out(sizeof(Header));
+  std::memcpy(out.data(), &h.id, sizeof(h.id));
+  std::memcpy(out.data() + sizeof(h.id), &h.count, sizeof(h.count));
+  return out;
+}
+
+// findings: no version check AND reads without any remaining-size guard.
+Header deserialize_header(std::span<const std::byte> payload) {
+  Header h;
+  std::memcpy(&h.id, payload.data(), sizeof(h.id));
+  std::memcpy(&h.count, payload.data() + sizeof(h.id), sizeof(h.count));
+  return h;
+}
+
+// finding: raw memcpy in a non-codec helper with no preceding bounds check.
+void copy_tail(std::vector<double>& dst, const std::vector<double>& src) {
+  std::memcpy(dst.data(), src.data(), src.size() * sizeof(double));
+}
+
+}  // namespace fixture

@@ -1,0 +1,42 @@
+// Fixture: lock-discipline must fire on bare .lock()/.unlock() and on a
+// mutex held across a mailbox send/recv. NOT part of the build — parsed by
+// ulba_lint only.
+#include <mutex>
+#include <vector>
+
+namespace fixture {
+
+struct Comm {
+  void send_bytes(int dest, int tag, const std::vector<std::byte>& payload);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+};
+
+constexpr int kTagFixture = 7;
+
+struct State {
+  std::mutex mutex;
+  std::vector<std::byte> pending;
+};
+
+void bare_lock_pair(State& state) {
+  state.mutex.lock();                         // finding: bare .lock()
+  state.pending.clear();
+  state.mutex.unlock();                       // finding: bare .unlock()
+}
+
+void send_under_lock(State& state, Comm& comm) {
+  const std::lock_guard<std::mutex> guard(state.mutex);
+  comm.send_bytes(1, kTagFixture, state.pending);  // finding: send held
+}
+
+void recv_outside_lock(State& state, Comm& comm) {
+  // Correct shape: copy under the guard, communicate after release.
+  std::vector<std::byte> snapshot;
+  {
+    const std::lock_guard<std::mutex> guard(state.mutex);
+    snapshot = state.pending;
+  }
+  comm.send_bytes(1, kTagFixture, snapshot);  // fine: guard already gone
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: rng-discipline must fire on ad-hoc engines and libc rand().
+// NOT part of the build — parsed by ulba_lint only.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double draw_with_adhoc_engine(std::uint64_t seed) {
+  std::mt19937_64 engine(seed);               // finding: ad-hoc engine
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  return u(engine);
+}
+
+int draw_with_libc() {
+  return rand();                              // finding: libc rand()
+}
+
+void seed_from_entropy() {
+  std::random_device rd;                      // finding: random_device
+  srand(rd());                                // finding: srand
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: inline "ulba-lint" allow escapes must silence the named rule
+// (and only it) on the annotated line. NOT part of the build — parsed by
+// ulba_lint only.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double allowed_clock_read() {
+  // ulba-lint: allow(time-discipline): fixture demonstrates the escape.
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+int allowed_rand() {
+  return rand();  // ulba-lint: allow(rng-discipline): fixture escape.
+}
+
+int unsuppressed_rand() {
+  return rand();  // still a finding: no allow on this line
+}
+
+}  // namespace fixture

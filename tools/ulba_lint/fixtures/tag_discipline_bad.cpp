@@ -1,0 +1,32 @@
+// Fixture: tag-discipline must fire on integer-literal tags at mailbox
+// call sites and stay quiet on named kTag* constants and declarations.
+// NOT part of the build — parsed by ulba_lint only.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Comm {
+  void send_bytes(int dest, int tag, const std::vector<std::byte>& payload);
+  std::vector<std::byte> recv_bytes(int source, int tag);
+  template <typename T>
+  void send_span(int dest, int tag, const std::vector<T>& values);
+};
+
+constexpr int kTagHalo = 100;
+
+void literal_tags(Comm& comm, const std::vector<std::byte>& payload) {
+  comm.send_bytes(1, 42, payload);            // finding: literal tag
+  (void)comm.recv_bytes(0, 42);               // finding: literal tag
+  comm.send_span<std::int64_t>(2, 7, {});     // finding: literal tag
+}
+
+void named_tags(Comm& comm, const std::vector<std::byte>& payload) {
+  comm.send_bytes(1, kTagHalo, payload);      // fine: named constant
+  (void)comm.recv_bytes(0, kTagHalo);         // fine: named constant
+}
+
+// Declarations must not be mistaken for call sites.
+std::vector<std::uint8_t> send_to(static_cast<std::size_t>(8), 0);
+
+}  // namespace fixture

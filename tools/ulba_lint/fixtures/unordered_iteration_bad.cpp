@@ -1,0 +1,46 @@
+// Fixture: unordered-iteration must fire on hash-order loops that feed
+// serialized output or floating-point accumulation, and stay quiet on
+// order-independent uses. NOT part of the build — parsed by ulba_lint only.
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct RunResult {
+  double total = 0.0;
+};
+
+void print_report(std::ostream& out,
+                  const std::unordered_map<std::string, double>& stats) {
+  for (const auto& entry : stats)             // finding: hash order printed
+    out << entry.first << " " << entry.second << "\n";
+}
+
+double accumulate_result(const std::unordered_map<int, double>& weights) {
+  RunResult result;
+  for (const auto& kv : weights)              // finding: FP accumulation
+    result.total += kv.second;
+  return result.total;
+}
+
+std::vector<std::byte> serialize_members(
+    const std::unordered_set<std::int64_t>& members) {
+  std::vector<std::byte> out;
+  for (auto it = members.begin(); it != members.end(); ++it)  // finding
+    out.push_back(static_cast<std::byte>(*it & 0xff));
+  return out;
+}
+
+// Order-independent use: counting distinct keys never observes hash order,
+// so this must NOT be flagged.
+std::size_t count_distinct(const std::vector<int>& picks) {
+  std::unordered_set<int> distinct;
+  for (const int p : picks) distinct.insert(p);
+  return distinct.size();
+}
+
+}  // namespace fixture
